@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks: per-event provenance maintenance overhead
+//! of the recorders (the runtime cost the paper argues is negligible).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpc_apps::forwarding;
+use dpc_common::NodeId;
+use dpc_core::{AdvancedRecorder, BasicRecorder, ExspanRecorder, GroundTruthRecorder};
+use dpc_engine::{NoopRecorder, ProvRecorder};
+use dpc_ndlog::{equivalence_keys, programs};
+use dpc_netsim::{topo, Link};
+
+const PACKETS: usize = 100;
+const LINE: usize = 8;
+
+fn run_workload<R: ProvRecorder>(rec: R) -> usize {
+    let net = topo::line(LINE, Link::STUB_STUB);
+    let mut rt = forwarding::make_runtime(net, rec);
+    let dst = NodeId(LINE as u32 - 1);
+    forwarding::install_routes_for_pairs(&mut rt, &[(NodeId(0), dst)]).expect("line is connected");
+    for i in 0..PACKETS {
+        rt.inject(forwarding::packet(
+            NodeId(0),
+            NodeId(0),
+            dst,
+            forwarding::payload(i as u64),
+        ))
+        .expect("valid packet");
+    }
+    rt.run().expect("run");
+    rt.outputs().len()
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let keys = equivalence_keys(&programs::packet_forwarding());
+    let mut g = c.benchmark_group("maintenance_per_100_packets");
+    g.bench_function("none", |b| {
+        b.iter_batched(|| NoopRecorder, run_workload, BatchSize::SmallInput)
+    });
+    g.bench_function("exspan", |b| {
+        b.iter_batched(
+            || ExspanRecorder::new(LINE),
+            run_workload,
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("basic", |b| {
+        b.iter_batched(
+            || BasicRecorder::new(LINE),
+            run_workload,
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("advanced", |b| {
+        b.iter_batched(
+            || AdvancedRecorder::new(LINE, keys.clone()),
+            run_workload,
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("advanced_interclass", |b| {
+        b.iter_batched(
+            || AdvancedRecorder::with_inter_class(LINE, keys.clone()),
+            run_workload,
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("ground_truth", |b| {
+        b.iter_batched(
+            GroundTruthRecorder::new,
+            run_workload,
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Short measurement windows: these benches gate CI-style runs, not
+/// microsecond-precision regressions.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_maintenance
+}
+criterion_main!(benches);

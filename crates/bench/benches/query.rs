@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks: wall-clock cost of executing provenance
+//! queries (table walks plus reconstruction), per scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpc_apps::forwarding;
+use dpc_common::NodeId;
+use dpc_core::{
+    query_advanced, query_basic, query_exspan, AdvancedRecorder, BasicRecorder, ExspanRecorder,
+    QueryCtx,
+};
+use dpc_engine::{ProvRecorder, Runtime};
+use dpc_ndlog::{equivalence_keys, programs};
+use dpc_netsim::{topo, Link};
+use std::hint::black_box;
+
+const LINE: usize = 10;
+
+fn setup<R: ProvRecorder>(rec: R) -> Runtime<R> {
+    let net = topo::line(LINE, Link::STUB_STUB);
+    let mut rt = forwarding::make_runtime(net, rec);
+    let dst = NodeId(LINE as u32 - 1);
+    forwarding::install_routes_for_pairs(&mut rt, &[(NodeId(0), dst)]).expect("connected");
+    for i in 0..20 {
+        rt.inject(forwarding::packet(
+            NodeId(0),
+            NodeId(0),
+            dst,
+            forwarding::payload(i),
+        ))
+        .expect("valid");
+    }
+    rt.run().expect("run");
+    rt
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_9hop_chain");
+
+    let rt = setup(ExspanRecorder::new(LINE));
+    let out = rt.outputs()[7].clone();
+    let ctx = QueryCtx::from_runtime(&rt);
+    g.bench_function("exspan", |b| {
+        b.iter(|| query_exspan(&ctx, rt.recorder(), black_box(&out.tuple)).unwrap())
+    });
+
+    let rt = setup(BasicRecorder::new(LINE));
+    let out = rt.outputs()[7].clone();
+    let ctx = QueryCtx::from_runtime(&rt);
+    g.bench_function("basic", |b| {
+        b.iter(|| query_basic(&ctx, rt.recorder(), black_box(&out.tuple)).unwrap())
+    });
+
+    let keys = equivalence_keys(&programs::packet_forwarding());
+    let rt = setup(AdvancedRecorder::new(LINE, keys.clone()));
+    let out = rt.outputs()[7].clone();
+    let ctx = QueryCtx::from_runtime(&rt);
+    g.bench_function("advanced", |b| {
+        b.iter(|| query_advanced(&ctx, rt.recorder(), black_box(&out.tuple), &out.evid).unwrap())
+    });
+
+    let rt = setup(AdvancedRecorder::with_inter_class(LINE, keys));
+    let out = rt.outputs()[7].clone();
+    let ctx = QueryCtx::from_runtime(&rt);
+    g.bench_function("advanced_interclass", |b| {
+        b.iter(|| query_advanced(&ctx, rt.recorder(), black_box(&out.tuple), &out.evid).unwrap())
+    });
+    g.finish();
+}
+
+/// Ablation: Basic's query-time re-derivation cost as the chain grows —
+/// the trade Section 4 makes to drop intermediate tuples from storage.
+fn bench_reconstruction_by_chain_length(c: &mut Criterion) {
+    use dpc_core::reconstruct::{reconstruct, ChainLevel};
+    let delp = programs::packet_forwarding();
+    let fns = dpc_engine::FnRegistry::new();
+    let mut g = c.benchmark_group("reconstruct_chain");
+    for hops in [2usize, 4, 8, 16] {
+        // A chain of `hops` r1 levels plus the final r2.
+        let mut chain = vec![ChainLevel {
+            rule: "r2".into(),
+            slow: vec![],
+        }];
+        for i in (0..hops).rev() {
+            chain.push(ChainLevel {
+                rule: "r1".into(),
+                slow: vec![forwarding::route(
+                    NodeId(i as u32),
+                    NodeId(hops as u32),
+                    NodeId(i as u32 + 1),
+                )],
+            });
+        }
+        let event = forwarding::packet(
+            NodeId(0),
+            NodeId(0),
+            NodeId(hops as u32),
+            forwarding::payload(0),
+        );
+        g.bench_function(format!("{hops}_hops"), |b| {
+            b.iter(|| reconstruct(&delp, &fns, black_box(&chain), black_box(&event)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Short measurement windows: these benches gate CI-style runs, not
+/// microsecond-precision regressions.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_queries, bench_reconstruction_by_chain_length
+}
+criterion_main!(benches);

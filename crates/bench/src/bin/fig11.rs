@@ -1,0 +1,76 @@
+//! Figure 11: bandwidth consumption during packet forwarding (500 pairs,
+//! 100 packets each in the paper), plus the Section 5.5 route-update
+//! variant.
+//!
+//! Paper result: all three schemes consume nearly identical bandwidth —
+//! the per-packet metadata is negligible next to 500-byte payloads — and
+//! updating a route every 10 s adds only ~0.6%.
+
+use dpc_bench::{print_series, print_table, run_forwarding, Cli, FwdConfig, Scheme};
+use dpc_netsim::SimTime;
+
+fn main() {
+    let cli = Cli::parse();
+    let (pairs, per_pair, duration) = if cli.paper_scale {
+        (500, 100, SimTime::from_secs(100))
+    } else {
+        (50, 20, SimTime::from_secs(10))
+    };
+    let base = FwdConfig {
+        seed: cli.seed,
+        pairs,
+        total_packets: Some(pairs * per_pair),
+        duration,
+        ..FwdConfig::default()
+    };
+    println!("Figure 11 — bandwidth during forwarding ({pairs} pairs x {per_pair} packets)");
+
+    let mut xs: Vec<f64> = Vec::new();
+    let mut series = Vec::new();
+    let mut totals = Vec::new();
+    for scheme in Scheme::PAPER {
+        let out = run_forwarding(scheme, &base);
+        if xs.is_empty() {
+            xs = (0..out.m.traffic_per_second.len())
+                .map(|s| s as f64)
+                .collect();
+        }
+        let ys: Vec<f64> = out
+            .m
+            .traffic_per_second
+            .iter()
+            .map(|&b| b as f64 / 1_000_000.0)
+            .collect();
+        totals.push((scheme, out.m.total_traffic));
+        series.push((scheme.name(), ys));
+    }
+    print_series("bandwidth", "second", "MB/s", &xs, &series);
+
+    // The slow-table update variant (Advanced only, as in the paper).
+    let with_updates = FwdConfig {
+        route_update_every: Some(if cli.paper_scale {
+            SimTime::from_secs(10)
+        } else {
+            SimTime::from_secs(2)
+        }),
+        ..base
+    };
+    let upd = run_forwarding(Scheme::Advanced, &with_updates);
+    let adv_total = totals
+        .iter()
+        .find(|(s, _)| *s == Scheme::Advanced)
+        .map(|(_, t)| *t)
+        .expect("advanced ran");
+    let overhead = (upd.m.total_traffic as f64 / adv_total as f64 - 1.0) * 100.0;
+    print_table(
+        "route-update overhead (Section 5.5)",
+        &[
+            ("Advanced total bytes", adv_total.to_string()),
+            (
+                "Advanced + updates total bytes",
+                upd.m.total_traffic.to_string(),
+            ),
+            ("bandwidth increase", format!("{overhead:.2}%")),
+        ],
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 16: total DNS provenance storage over time at a constant
+//! request rate.
+//!
+//! Paper result: growth rates 13.15 / 11.57 / 3.81 Mbps for ExSPAN /
+//! Basic / Advanced; at 100 s the totals reach 1.32 / 1.16 / 0.38 GB —
+//! Advanced roughly 3.5x below ExSPAN.
+
+use dpc_bench::{print_series, run_dns_schemes, Cli, DnsConfig, Scheme};
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = if cli.paper_scale {
+        DnsConfig::paper_scale(cli.seed)
+    } else {
+        DnsConfig {
+            seed: cli.seed,
+            ..DnsConfig::default()
+        }
+    };
+    println!(
+        "Figure 16 — DNS storage over time ({} req/s for {}s)",
+        cfg.rate,
+        cfg.duration.as_secs_f64()
+    );
+    let mut xs: Vec<f64> = Vec::new();
+    let mut series = Vec::new();
+    for (scheme, out) in run_dns_schemes(&cfg, &Scheme::PAPER) {
+        if xs.is_empty() {
+            xs = out.m.snapshots.iter().map(|(s, _)| *s as f64).collect();
+        }
+        let ys: Vec<f64> = out
+            .m
+            .snapshots
+            .iter()
+            .map(|(_, b)| dpc_workload::mb(*b))
+            .collect();
+        let rate_mbps = dpc_workload::mbps(out.m.total_storage(), out.m.duration);
+        eprintln!("  {}: {:.2} Mbps growth", scheme.name(), rate_mbps);
+        series.push((scheme.name(), ys));
+    }
+    print_series("total DNS provenance storage", "second", "MB", &xs, &series);
+}

@@ -1,0 +1,457 @@
+//! The packet-forwarding experiment runner (Figures 8-12).
+
+use dpc_common::NodeId;
+use dpc_core::{
+    query_advanced, query_basic, query_exspan, AdvancedRecorder, BasicRecorder, ExspanRecorder,
+    QueryCtx,
+};
+use dpc_engine::{ProvRecorder, Runtime};
+use dpc_ndlog::{equivalence_keys, programs};
+use dpc_netsim::{topo, SimTime};
+use dpc_workload::random_pairs;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use dpc_apps::forwarding;
+
+use crate::{RunMeasurements, Scheme};
+
+/// Configuration of a forwarding run.
+#[derive(Debug, Clone)]
+pub struct FwdConfig {
+    /// Topology/workload RNG seed.
+    pub seed: u64,
+    /// Number of communicating `(src, dst)` pairs.
+    pub pairs: usize,
+    /// Packets per second per pair (ignored when `total_packets` is set).
+    pub rate_per_pair: f64,
+    /// Simulated duration of the injection phase.
+    pub duration: SimTime,
+    /// Packet payload size (the paper uses 500 characters).
+    pub payload_len: usize,
+    /// Storage snapshot interval (the paper samples every 10 s).
+    pub snapshot_every: SimTime,
+    /// If set, insert a routing-table entry at this interval (the
+    /// Section 5.5 update workload; triggers `sig` broadcasts).
+    pub route_update_every: Option<SimTime>,
+    /// If set, send exactly this many packets, evenly spread over the
+    /// pairs and the duration (Figure 10/11 style).
+    pub total_packets: Option<usize>,
+}
+
+impl Default for FwdConfig {
+    fn default() -> Self {
+        FwdConfig {
+            seed: 42,
+            pairs: 20,
+            rate_per_pair: 10.0,
+            duration: SimTime::from_secs(10),
+            payload_len: 500,
+            snapshot_every: SimTime::from_secs(1),
+            route_update_every: None,
+            total_packets: None,
+        }
+    }
+}
+
+impl FwdConfig {
+    /// The paper's Figure 8/9 parameters: 100 pairs at 100 packets/second
+    /// each for 100 seconds. Expect ExSPAN storage in the gigabytes.
+    pub fn paper_scale(seed: u64) -> FwdConfig {
+        FwdConfig {
+            seed,
+            pairs: 100,
+            rate_per_pair: 100.0,
+            duration: SimTime::from_secs(100),
+            snapshot_every: SimTime::from_secs(10),
+            ..FwdConfig::default()
+        }
+    }
+}
+
+/// Output of one forwarding run.
+#[derive(Debug, Clone)]
+pub struct FwdRunOutput {
+    /// Storage/traffic measurements.
+    pub m: RunMeasurements,
+    /// Packets injected.
+    pub injected: usize,
+}
+
+fn payload_of(seq: u64, len: usize) -> String {
+    let mut s = format!("pkt-{seq}-");
+    while s.len() < len {
+        s.push('x');
+    }
+    s.truncate(len.max(8));
+    s
+}
+
+/// Run the forwarding workload under `scheme`.
+pub fn run_forwarding(scheme: Scheme, cfg: &FwdConfig) -> FwdRunOutput {
+    match scheme {
+        Scheme::Exspan => run_generic(cfg, ExspanRecorder::new),
+        Scheme::Basic => run_generic(cfg, BasicRecorder::new),
+        Scheme::Advanced => run_generic(cfg, |n| {
+            AdvancedRecorder::new(n, equivalence_keys(&programs::packet_forwarding()))
+        }),
+        Scheme::AdvancedInterClass => run_generic(cfg, |n| {
+            AdvancedRecorder::with_inter_class(n, equivalence_keys(&programs::packet_forwarding()))
+        }),
+    }
+}
+
+fn run_generic<R: ProvRecorder>(cfg: &FwdConfig, make: impl FnOnce(usize) -> R) -> FwdRunOutput {
+    let (rt, injected) = prepare(cfg, make);
+    let (rt, m) = drive(rt, cfg);
+    drop(rt);
+    FwdRunOutput { m, injected }
+}
+
+/// Build the topology, install routes, inject the whole schedule.
+fn prepare<R: ProvRecorder>(cfg: &FwdConfig, make: impl FnOnce(usize) -> R) -> (Runtime<R>, usize) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let ts = topo::transit_stub(&mut rng, &topo::TransitStubParams::default());
+    let n = ts.net.node_count();
+    let mut rt = forwarding::make_runtime(ts.net, make(n));
+    let pairs = random_pairs(&mut rng, &ts.stub, cfg.pairs);
+    forwarding::install_routes_for_pairs(&mut rt, &pairs).expect("transit-stub is connected");
+    rt.clear_stats();
+
+    // Injection schedule.
+    let mut injected = 0usize;
+    match cfg.total_packets {
+        Some(total) => {
+            let interval = SimTime::from_nanos(cfg.duration.as_nanos() / (total as u64).max(1));
+            for i in 0..total {
+                let (s, d) = pairs[i % pairs.len()];
+                let at = SimTime::from_nanos(interval.as_nanos() * i as u64);
+                rt.inject_at(
+                    forwarding::packet(s, s, d, payload_of(i as u64, cfg.payload_len)),
+                    at,
+                )
+                .expect("valid packet");
+                injected += 1;
+            }
+        }
+        None => {
+            let per_pair = (cfg.duration.as_secs_f64() * cfg.rate_per_pair).floor() as usize;
+            let interval = SimTime::from_secs_f64(1.0 / cfg.rate_per_pair);
+            for (pi, &(s, d)) in pairs.iter().enumerate() {
+                for k in 0..per_pair {
+                    let at = SimTime::from_nanos(interval.as_nanos() * k as u64);
+                    let seq = (pi * per_pair + k) as u64;
+                    rt.inject_at(
+                        forwarding::packet(s, s, d, payload_of(seq, cfg.payload_len)),
+                        at,
+                    )
+                    .expect("valid packet");
+                    injected += 1;
+                }
+            }
+        }
+    }
+
+    // Optional slow-table update workload: periodically insert a fresh
+    // route entry (toward an otherwise-unused destination id) at a random
+    // stub node; each insert broadcasts `sig`.
+    if let Some(every) = cfg.route_update_every {
+        let mut t = every;
+        let mut fake_dst = 10_000u32;
+        while t < cfg.duration {
+            let at_node = ts.stub[rng.random_range_usize(ts.stub.len())];
+            let neighbor = rt
+                .net()
+                .neighbors(at_node)
+                .next()
+                .map(|(m, _)| m)
+                .expect("connected topology");
+            rt.update_slow_at(forwarding::route(at_node, NodeId(fake_dst), neighbor), t)
+                .expect("route is slow-changing");
+            fake_dst += 1;
+            t += every;
+        }
+    }
+
+    (rt, injected)
+}
+
+/// Tiny extension so the runner does not need the full `Rng` trait in its
+/// public signature.
+trait RangeExt {
+    fn random_range_usize(&mut self, n: usize) -> usize;
+}
+impl RangeExt for StdRng {
+    fn random_range_usize(&mut self, n: usize) -> usize {
+        use rand::Rng;
+        self.random_range(0..n)
+    }
+}
+
+/// Drive the run to completion, snapshotting storage along the way.
+fn drive<R: ProvRecorder>(mut rt: Runtime<R>, cfg: &FwdConfig) -> (Runtime<R>, RunMeasurements) {
+    let n = rt.net().node_count();
+    let mut snapshots = Vec::new();
+    let mut t = SimTime::ZERO;
+    while t < cfg.duration {
+        t += cfg.snapshot_every;
+        rt.run_until(t).expect("run step");
+        let total: usize = (0..n)
+            .map(|i| rt.recorder().storage_at(NodeId(i as u32)))
+            .sum();
+        snapshots.push((t.whole_secs(), total));
+    }
+    // Drain in-flight packets.
+    rt.run().expect("drain");
+    let duration = rt.now().max(cfg.duration);
+
+    let per_node_storage: Vec<usize> = (0..n)
+        .map(|i| rt.recorder().storage_at(NodeId(i as u32)))
+        .collect();
+    let m = RunMeasurements {
+        per_node_storage,
+        snapshots,
+        traffic_per_second: rt.stats().per_second_series(),
+        total_traffic: rt.stats().total_bytes(),
+        outputs: rt.outputs().len(),
+        duration,
+    };
+    (rt, m)
+}
+
+/// Run the workload under `scheme`, then execute `queries` random
+/// provenance queries against random `recv` outputs and return their
+/// modeled latencies in milliseconds (Figure 12).
+pub fn forwarding_query_latencies(scheme: Scheme, cfg: &FwdConfig, queries: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x51ab);
+    match scheme {
+        Scheme::Exspan => {
+            let (mut rt, _) = prepare(cfg, ExspanRecorder::new);
+            rt.run().expect("drain");
+            let outs = sample_outputs(&rt, queries, &mut rng);
+            let ctx = QueryCtx::from_runtime(&rt);
+            outs.iter()
+                .map(|(t, _)| {
+                    query_exspan(&ctx, rt.recorder(), t)
+                        .expect("stored output is queryable")
+                        .latency
+                        .as_millis_f64()
+                })
+                .collect()
+        }
+        Scheme::Basic => {
+            let (mut rt, _) = prepare(cfg, BasicRecorder::new);
+            rt.run().expect("drain");
+            let outs = sample_outputs(&rt, queries, &mut rng);
+            let ctx = QueryCtx::from_runtime(&rt);
+            outs.iter()
+                .map(|(t, _)| {
+                    query_basic(&ctx, rt.recorder(), t)
+                        .expect("stored output is queryable")
+                        .latency
+                        .as_millis_f64()
+                })
+                .collect()
+        }
+        Scheme::Advanced | Scheme::AdvancedInterClass => {
+            let keys = equivalence_keys(&programs::packet_forwarding());
+            let inter = scheme == Scheme::AdvancedInterClass;
+            let (mut rt, _) = prepare(cfg, move |n| {
+                if inter {
+                    AdvancedRecorder::with_inter_class(n, keys)
+                } else {
+                    AdvancedRecorder::new(n, keys)
+                }
+            });
+            rt.run().expect("drain");
+            let outs = sample_outputs(&rt, queries, &mut rng);
+            let ctx = QueryCtx::from_runtime(&rt);
+            outs.iter()
+                .map(|(t, evid)| {
+                    query_advanced(&ctx, rt.recorder(), t, evid)
+                        .expect("stored output is queryable")
+                        .latency
+                        .as_millis_f64()
+                })
+                .collect()
+        }
+    }
+}
+
+/// Run the workload under ExSPAN and Advanced, then execute `queries`
+/// random queries through the *simulated message* protocols
+/// (`dpc_core::distquery`) and return the mean latencies in ms:
+/// `(exspan, advanced)`. Used by fig12 to cross-check the analytic model.
+pub fn simulated_query_means(cfg: &FwdConfig, queries: usize) -> (f64, f64) {
+    use dpc_core::{simulate_query_advanced, simulate_query_exspan, QueryCostModel};
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xd15c);
+
+    let (mut rt_e, _) = prepare(cfg, ExspanRecorder::new);
+    rt_e.run().expect("drain");
+    let outs = sample_outputs(&rt_e, queries, &mut rng);
+    let exspan_mean = outs
+        .iter()
+        .map(|(t, _)| {
+            simulate_query_exspan(
+                rt_e.net(),
+                rt_e.recorder(),
+                &rt_e,
+                QueryCostModel::default(),
+                t,
+            )
+            .expect("stored output is queryable")
+            .latency
+            .as_millis_f64()
+        })
+        .sum::<f64>()
+        / outs.len() as f64;
+
+    let keys = equivalence_keys(&programs::packet_forwarding());
+    let (mut rt_a, _) = prepare(cfg, move |n| AdvancedRecorder::new(n, keys));
+    rt_a.run().expect("drain");
+    let outs = sample_outputs(&rt_a, queries, &mut rng);
+    let adv_mean = outs
+        .iter()
+        .map(|(t, evid)| {
+            simulate_query_advanced(
+                rt_a.net(),
+                rt_a.recorder(),
+                &rt_a,
+                rt_a.delp(),
+                rt_a.fns(),
+                QueryCostModel::default(),
+                t,
+                evid,
+            )
+            .expect("stored output is queryable")
+            .latency
+            .as_millis_f64()
+        })
+        .sum::<f64>()
+        / outs.len() as f64;
+
+    (exspan_mean, adv_mean)
+}
+
+fn sample_outputs<R: ProvRecorder>(
+    rt: &Runtime<R>,
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<(dpc_common::Tuple, dpc_common::EvId)> {
+    let mut outs: Vec<_> = rt
+        .outputs()
+        .iter()
+        .map(|o| (o.tuple.clone(), o.evid))
+        .collect();
+    outs.shuffle(rng);
+    outs.truncate(k);
+    assert!(!outs.is_empty(), "workload produced no outputs to query");
+    outs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FwdConfig {
+        FwdConfig {
+            pairs: 5,
+            rate_per_pair: 5.0,
+            duration: SimTime::from_secs(2),
+            snapshot_every: SimTime::from_secs(1),
+            ..FwdConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_schemes_deliver_all_packets() {
+        let cfg = tiny();
+        for s in [
+            Scheme::Exspan,
+            Scheme::Basic,
+            Scheme::Advanced,
+            Scheme::AdvancedInterClass,
+        ] {
+            let out = run_forwarding(s, &cfg);
+            assert_eq!(out.m.outputs, out.injected, "{}", s.name());
+            assert!(out.m.total_storage() > 0, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn storage_ordering_matches_paper() {
+        let cfg = tiny();
+        let e = run_forwarding(Scheme::Exspan, &cfg).m.total_storage();
+        let b = run_forwarding(Scheme::Basic, &cfg).m.total_storage();
+        let a = run_forwarding(Scheme::Advanced, &cfg).m.total_storage();
+        assert!(b < e, "basic {b} < exspan {e}");
+        assert!(a < b, "advanced {a} < basic {b}");
+        // With 10 packets per pair, Advanced should win by a wide margin.
+        assert!(a * 3 < e, "advanced {a} should be far below exspan {e}");
+    }
+
+    #[test]
+    fn snapshots_are_monotone() {
+        let out = run_forwarding(Scheme::Exspan, &tiny());
+        assert!(!out.m.snapshots.is_empty());
+        assert!(out.m.snapshots.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn fixed_total_packet_mode() {
+        let cfg = FwdConfig {
+            total_packets: Some(40),
+            pairs: 8,
+            duration: SimTime::from_secs(2),
+            ..FwdConfig::default()
+        };
+        let out = run_forwarding(Scheme::Advanced, &cfg);
+        assert_eq!(out.injected, 40);
+        assert_eq!(out.m.outputs, 40);
+    }
+
+    #[test]
+    fn route_updates_add_sig_traffic() {
+        let base = tiny();
+        let with_updates = FwdConfig {
+            route_update_every: Some(SimTime::from_millis(500)),
+            ..base.clone()
+        };
+        let a = run_forwarding(Scheme::Advanced, &base);
+        let b = run_forwarding(Scheme::Advanced, &with_updates);
+        assert!(b.m.total_traffic > a.m.total_traffic);
+        // The paper reports ~0.6% at its scale (updates every 10 s against
+        // 500 pairs of traffic); this tiny run updates 40x as often
+        // against 1/250 of the traffic, so allow a proportionally larger
+        // yet still modest bound. fig11 reports the paper-scale number.
+        let ratio = b.m.total_traffic as f64 / a.m.total_traffic as f64;
+        assert!(ratio < 1.30, "update overhead ratio {ratio}");
+    }
+
+    #[test]
+    fn query_latencies_have_paper_ordering() {
+        let cfg = FwdConfig {
+            pairs: 5,
+            rate_per_pair: 2.0,
+            duration: SimTime::from_secs(1),
+            ..FwdConfig::default()
+        };
+        let le = forwarding_query_latencies(Scheme::Exspan, &cfg, 10);
+        let lb = forwarding_query_latencies(Scheme::Basic, &cfg, 10);
+        let la = forwarding_query_latencies(Scheme::Advanced, &cfg, 10);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&lb) < mean(&le),
+            "basic {} < exspan {}",
+            mean(&lb),
+            mean(&le)
+        );
+        assert!(
+            mean(&la) < mean(&le),
+            "advanced {} < exspan {}",
+            mean(&la),
+            mean(&le)
+        );
+    }
+}

@@ -1,0 +1,234 @@
+#![warn(missing_docs)]
+
+//! The evaluation harness behind the `fig08`..`fig16` binaries.
+//!
+//! Each experiment mirrors one figure of the paper's Section 6. The
+//! default configurations are scaled down from the paper's so every
+//! harness finishes in seconds; pass `--paper-scale` to a binary to run
+//! the paper's parameters (slower and memory-hungry for ExSPAN, exactly as
+//! the paper's 131 MB/s growth rate suggests).
+
+pub mod dnsrun;
+pub mod fwdrun;
+pub mod report;
+
+use dpc_netsim::SimTime;
+
+pub use dnsrun::{run_dns, DnsConfig, DnsRunOutput};
+pub use fwdrun::{
+    forwarding_query_latencies, run_forwarding, simulated_query_means, FwdConfig, FwdRunOutput,
+};
+
+/// Run the forwarding workload under several schemes in parallel (the
+/// runs are independent simulations).
+pub fn run_forwarding_schemes(cfg: &FwdConfig, schemes: &[Scheme]) -> Vec<(Scheme, FwdRunOutput)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = schemes
+            .iter()
+            .map(|&sc| scope.spawn(move || (sc, run_forwarding(sc, cfg))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scheme run panicked"))
+            .collect()
+    })
+}
+
+/// Run the DNS workload under several schemes in parallel.
+pub fn run_dns_schemes(cfg: &DnsConfig, schemes: &[Scheme]) -> Vec<(Scheme, DnsRunOutput)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = schemes
+            .iter()
+            .map(|&sc| scope.spawn(move || (sc, run_dns(sc, cfg))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scheme run panicked"))
+            .collect()
+    })
+}
+pub use report::{print_cdf, print_series, print_table};
+
+/// The provenance maintenance scheme under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Uncompressed ExSPAN baseline.
+    Exspan,
+    /// Section 4 storage optimization.
+    Basic,
+    /// Section 5.3 equivalence-based compression.
+    Advanced,
+    /// Section 5.3 + the Section 5.4 node/link split.
+    AdvancedInterClass,
+}
+
+impl Scheme {
+    /// The three schemes the paper's figures compare.
+    pub const PAPER: [Scheme; 3] = [Scheme::Exspan, Scheme::Basic, Scheme::Advanced];
+
+    /// Display name used in figure output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Exspan => "ExSPAN",
+            Scheme::Basic => "Basic",
+            Scheme::Advanced => "Advanced",
+            Scheme::AdvancedInterClass => "Advanced+InterClass",
+        }
+    }
+}
+
+/// Shared storage/traffic measurements from one run.
+#[derive(Debug, Clone)]
+pub struct RunMeasurements {
+    /// Final provenance storage per node, bytes.
+    pub per_node_storage: Vec<usize>,
+    /// `(second, total storage bytes)` snapshots.
+    pub snapshots: Vec<(u64, usize)>,
+    /// Bytes on the wire per simulated second.
+    pub traffic_per_second: Vec<u64>,
+    /// Total bytes on the wire.
+    pub total_traffic: u64,
+    /// Output tuples derived.
+    pub outputs: usize,
+    /// Wall-clock span of the simulated run.
+    pub duration: SimTime,
+}
+
+impl RunMeasurements {
+    /// Total final storage across nodes.
+    pub fn total_storage(&self) -> usize {
+        self.per_node_storage.iter().sum()
+    }
+
+    /// Per-node storage growth rates in Mbps over the run, the metric of
+    /// Figures 8 and 13.
+    pub fn growth_rates_mbps(&self) -> Vec<f64> {
+        self.per_node_storage
+            .iter()
+            .map(|&b| dpc_workload::mbps(b, self.duration))
+            .collect()
+    }
+}
+
+/// Minimal CLI handling shared by the figure binaries: recognizes
+/// `--paper-scale` and `--seed <n>`.
+#[derive(Debug, Clone, Copy)]
+pub struct Cli {
+    /// Run the paper's full-scale parameters.
+    pub paper_scale: bool,
+    /// RNG seed for topology and workload.
+    pub seed: u64,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            paper_scale: false,
+            seed: 42,
+        }
+    }
+}
+
+impl Cli {
+    /// Parse from `std::env::args`, exiting with usage on bad input.
+    pub fn parse() -> Cli {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                eprintln!("{msg}\nusage: [--paper-scale] [--seed <n>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an explicit argument list (testable core of
+    /// [`Cli::parse`]).
+    pub fn parse_from<I, S>(args: I) -> Result<Cli, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut cli = Cli::default();
+        let mut args = args.into_iter().map(Into::into);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--paper-scale" => cli.paper_scale = true,
+                "--seed" => {
+                    cli.seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| "--seed requires an integer".to_string())?;
+                }
+                "--help" | "-h" => {
+                    return Err("help requested".to_string());
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(cli)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_parsing() {
+        let none: [&str; 0] = [];
+        let cli = Cli::parse_from(none).unwrap();
+        assert!(!cli.paper_scale);
+        assert_eq!(cli.seed, 42);
+        let cli = Cli::parse_from(["--paper-scale", "--seed", "7"]).unwrap();
+        assert!(cli.paper_scale);
+        assert_eq!(cli.seed, 7);
+        assert!(Cli::parse_from(["--seed"]).is_err());
+        assert!(Cli::parse_from(["--seed", "abc"]).is_err());
+        assert!(Cli::parse_from(["--bogus"]).is_err());
+        assert!(Cli::parse_from(["--help"]).is_err());
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::Exspan.name(), "ExSPAN");
+        assert_eq!(Scheme::PAPER.len(), 3);
+    }
+
+    #[test]
+    fn parallel_runs_match_sequential_runs() {
+        let cfg = FwdConfig {
+            pairs: 4,
+            rate_per_pair: 4.0,
+            duration: SimTime::from_secs(1),
+            ..FwdConfig::default()
+        };
+        let par = run_forwarding_schemes(&cfg, &Scheme::PAPER);
+        for (scheme, out) in par {
+            let seq = run_forwarding(scheme, &cfg);
+            assert_eq!(
+                out.m.total_storage(),
+                seq.m.total_storage(),
+                "{}",
+                scheme.name()
+            );
+            assert_eq!(out.m.total_traffic, seq.m.total_traffic);
+            assert_eq!(out.m.outputs, seq.m.outputs);
+        }
+    }
+
+    #[test]
+    fn measurements_helpers() {
+        let m = RunMeasurements {
+            per_node_storage: vec![1_000_000, 2_000_000],
+            snapshots: vec![],
+            traffic_per_second: vec![],
+            total_traffic: 0,
+            outputs: 0,
+            duration: SimTime::from_secs(8),
+        };
+        assert_eq!(m.total_storage(), 3_000_000);
+        let rates = m.growth_rates_mbps();
+        assert!((rates[0] - 1.0).abs() < 1e-9);
+        assert!((rates[1] - 2.0).abs() < 1e-9);
+    }
+}

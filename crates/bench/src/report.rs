@@ -1,0 +1,81 @@
+//! Plain-text figure rendering: the harness binaries print the same
+//! series/rows the paper's figures plot.
+
+use dpc_workload::Cdf;
+
+/// Print a CDF as `value fraction` rows under a header, at a fixed set of
+/// fractions plus summary statistics.
+pub fn print_cdf(title: &str, unit: &str, series: &[(&str, &Cdf)]) {
+    println!("# {title}");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "scheme", "p10", "p50", "p80", "p90", "max", "mean"
+    );
+    for (name, cdf) in series {
+        println!(
+            "{:<24} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            name,
+            cdf.quantile(0.10),
+            cdf.quantile(0.50),
+            cdf.quantile(0.80),
+            cdf.quantile(0.90),
+            cdf.max(),
+            cdf.mean(),
+        );
+    }
+    println!("(values in {unit})");
+}
+
+/// Print an x/y series per scheme: one row per x value.
+pub fn print_series(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    xs: &[f64],
+    series: &[(&str, Vec<f64>)],
+) {
+    println!("# {title}");
+    print!("{:<12}", x_label);
+    for (name, _) in series {
+        print!(" {name:>22}");
+    }
+    println!();
+    for (i, x) in xs.iter().enumerate() {
+        print!("{x:<12.2}");
+        for (_, ys) in series {
+            match ys.get(i) {
+                Some(y) => print!(" {y:>22.3}"),
+                None => print!(" {:>22}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("(y values in {y_label})");
+}
+
+/// Print a simple key/value table.
+pub fn print_table(title: &str, rows: &[(&str, String)]) {
+    println!("# {title}");
+    for (k, v) in rows {
+        println!("{k:<40} {v}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printing_does_not_panic() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 3.0]);
+        print_cdf("t", "ms", &[("a", &cdf)]);
+        print_series(
+            "t",
+            "x",
+            "MB",
+            &[1.0, 2.0],
+            &[("a", vec![1.0, 2.0]), ("b", vec![3.0])],
+        );
+        print_table("t", &[("k", "v".into())]);
+    }
+}

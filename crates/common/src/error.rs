@@ -1,0 +1,80 @@
+//! Workspace-wide error type.
+//!
+//! Every fallible public operation in the workspace returns [`Result`]. The
+//! variants are deliberately coarse: this is a simulation/research library,
+//! so the interesting distinction is *which subsystem* rejected the input,
+//! not a deep taxonomy of causes.
+
+use std::fmt;
+
+/// Errors produced anywhere in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// NDlog source text failed to lex or parse.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A structurally valid NDlog program violated the DELP restrictions
+    /// (Definition 1 of the paper).
+    InvalidDelp(String),
+    /// A tuple did not match the schema the operation required (wrong arity,
+    /// missing location specifier, wrong value type).
+    Schema(String),
+    /// A lookup against provenance storage failed (unknown vid/rid, broken
+    /// NLoc/NRID chain, missing event tuple).
+    ProvenanceLookup(String),
+    /// The simulated network rejected an operation (unknown node, no such
+    /// link, disconnected pair).
+    Network(String),
+    /// A runtime evaluation error (unbound variable, type error in an
+    /// arithmetic atom, unknown user-defined function).
+    Eval(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            Error::InvalidDelp(msg) => write!(f, "not a valid DELP: {msg}"),
+            Error::Schema(msg) => write!(f, "schema violation: {msg}"),
+            Error::ProvenanceLookup(msg) => write!(f, "provenance lookup failed: {msg}"),
+            Error::Network(msg) => write!(f, "network error: {msg}"),
+            Error::Eval(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Parse {
+            line: 3,
+            col: 7,
+            msg: "expected ':-'".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:7: expected ':-'");
+        assert!(Error::InvalidDelp("x".into()).to_string().contains("DELP"));
+        assert!(Error::Eval("boom".into()).to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_error(_: &dyn std::error::Error) {}
+        takes_std_error(&Error::Network("down".into()));
+    }
+}

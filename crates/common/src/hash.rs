@@ -1,0 +1,384 @@
+//! SHA-1 (RFC 3174) and the typed digests of the provenance model.
+//!
+//! The paper (and ExSPAN before it) identifies provenance nodes by SHA-1
+//! hashes: a tuple's `vid` is `sha1(tuple)`, a rule execution's `rid` is
+//! `sha1(rule + loc + child vids)`, and the event peculiar to one execution
+//! is identified by its `evid`. We reproduce that scheme with a from-scratch
+//! SHA-1 so the workspace has no external digest dependency; the
+//! implementation is validated against the RFC 3174 / FIPS 180-1 test
+//! vectors in this module's tests.
+//!
+//! The typed wrappers ([`Vid`], [`Rid`], [`EvId`], [`EqKeyHash`]) exist so
+//! that the storage layer cannot accidentally mix identifier spaces — a bug
+//! class that is otherwise easy to hit when everything is `[u8; 20]`.
+
+use std::fmt;
+
+/// A raw 160-bit SHA-1 digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 20]);
+
+impl Digest {
+    /// Render the digest as lowercase hex.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(40);
+        for b in self.0 {
+            use fmt::Write;
+            write!(s, "{b:02x}").expect("writing to String cannot fail");
+        }
+        s
+    }
+
+    /// A short (8 hex char) prefix, handy for human-readable table dumps.
+    pub fn short(&self) -> String {
+        self.to_hex()[..8].to_string()
+    }
+
+    /// Parse a 40-character hex string back into a digest.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        let s = s.as_bytes();
+        if s.len() != 40 {
+            return None;
+        }
+        let mut out = [0u8; 20];
+        for (i, pair) in s.chunks_exact(2).enumerate() {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+
+    /// The all-zero digest, used as a sentinel in a few table dumps.
+    pub const ZERO: Digest = Digest([0; 20]);
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.short())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Streaming SHA-1 hasher.
+///
+/// ```
+/// use dpc_common::Sha1;
+/// let mut h = Sha1::new();
+/// h.update(b"abc");
+/// assert_eq!(h.finish().to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Create a hasher in its initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len += data.len() as u64;
+        let mut data = data;
+        // Fill a partial block first.
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.process_block(&block);
+                self.buf_len = 0;
+            }
+        }
+        // Whole blocks straight from the input.
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.process_block(&b);
+            data = rest;
+        }
+        // Stash the tail.
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finalize and return the digest. Consumes the hasher.
+    pub fn finish(mut self) -> Digest {
+        let bit_len = self.len * 8;
+        // Padding: 0x80 then zeros until 8 bytes remain in the block, then
+        // the big-endian 64-bit bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Appending the length must not count toward `len`, but we have
+        // already captured bit_len, so plain update is fine.
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn process_block(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 of a byte slice.
+pub fn sha1(data: &[u8]) -> Digest {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finish()
+}
+
+macro_rules! typed_digest {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub Digest);
+
+        impl $name {
+            /// Hash arbitrary bytes into this identifier space. A single
+            /// domain-separation byte keeps the spaces disjoint even for
+            /// identical payloads.
+            pub fn of_bytes(data: &[u8]) -> Self {
+                let mut h = Sha1::new();
+                h.update(&[$tag]);
+                h.update(data);
+                $name(h.finish())
+            }
+
+            /// Lowercase-hex rendering of the digest.
+            pub fn to_hex(&self) -> String {
+                self.0.to_hex()
+            }
+
+            /// Short hex prefix for table dumps.
+            pub fn short(&self) -> String {
+                self.0.short()
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0.short())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0.short())
+            }
+        }
+    };
+}
+
+typed_digest!(
+    /// Identifier of a tuple (`vid` in the paper): `sha1(tuple)`.
+    Vid,
+    b'V'
+);
+typed_digest!(
+    /// Identifier of a rule execution (`rid` in the paper).
+    Rid,
+    b'R'
+);
+typed_digest!(
+    /// Identifier of the input event peculiar to one execution (`evid`).
+    EvId,
+    b'E'
+);
+typed_digest!(
+    /// Hash of an input event's equivalence-key valuation — the value
+    /// stored in the `htequi` set and used as the `hmap` key (Section 5.3).
+    EqKeyHash,
+    b'K'
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 3174 / FIPS 180-1 test vectors.
+    #[test]
+    fn rfc3174_vector_abc() {
+        assert_eq!(
+            sha1(b"abc").to_hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+    }
+
+    #[test]
+    fn rfc3174_vector_two_blocks() {
+        assert_eq!(
+            sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn rfc3174_vector_million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finish().to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(
+            sha1(b"").to_hex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0usize, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), sha1(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Sha1::new();
+        for b in data {
+            h.update(std::slice::from_ref(b));
+        }
+        assert_eq!(h.finish(), sha1(data));
+    }
+
+    #[test]
+    fn typed_digests_are_domain_separated() {
+        let v = Vid::of_bytes(b"same payload");
+        let r = Rid::of_bytes(b"same payload");
+        let e = EvId::of_bytes(b"same payload");
+        let k = EqKeyHash::of_bytes(b"same payload");
+        assert_ne!(v.0, r.0);
+        assert_ne!(v.0, e.0);
+        assert_ne!(r.0, e.0);
+        assert_ne!(k.0, v.0);
+    }
+
+    #[test]
+    fn digest_rendering() {
+        let d = sha1(b"abc");
+        assert_eq!(d.short(), "a9993e36");
+        assert_eq!(format!("{d}"), d.to_hex());
+        assert!(format!("{d:?}").starts_with("Digest(a9993e36"));
+        assert_eq!(Digest::ZERO.to_hex(), "0".repeat(40));
+    }
+
+    #[test]
+    fn from_hex_round_trips() {
+        let d = sha1(b"round trip");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(
+            Digest::from_hex("da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            Some(sha1(b""))
+        );
+        assert_eq!(Digest::from_hex("tooshort"), None);
+        assert_eq!(Digest::from_hex(&"g".repeat(40)), None);
+        assert_eq!(Digest::from_hex(&"0".repeat(41)), None);
+    }
+
+    #[test]
+    fn padding_boundary_lengths() {
+        // Lengths around the 55/56/64 byte padding boundaries exercise the
+        // two-block padding path.
+        let known = [
+            (55usize, true),
+            (56, true),
+            (57, true),
+            (63, true),
+            (64, true),
+            (65, true),
+        ];
+        for (len, _) in known {
+            let data = vec![0x61u8; len];
+            let d1 = sha1(&data);
+            // Re-hash via streaming to double check internal consistency.
+            let mut h = Sha1::new();
+            h.update(&data);
+            assert_eq!(h.finish(), d1, "len {len}");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Tuples, relation names and node identities.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::hash::{EvId, Vid};
+use crate::size::StorageSize;
+use crate::value::Value;
+
+/// Identity of a node in the distributed system.
+///
+/// Nodes are dense small integers; the `Display` form (`n0`, `n1`, ...)
+/// matches the paper's figures.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The integer index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An interned relation name.
+///
+/// Relation names are shared between many tuples, rules, and provenance
+/// rows; `Arc<str>` keeps clones cheap (a refcount bump) without pulling in
+/// an interning table.
+pub type RelName = Arc<str>;
+
+/// An instance of a relation: the relation name plus its attribute values.
+///
+/// By NDlog convention the first attribute is the *location specifier*: the
+/// node at which the tuple lives (written `@L` in surface syntax).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    rel: RelName,
+    args: Vec<Value>,
+}
+
+impl Tuple {
+    /// Build a tuple. The first argument should be the location specifier.
+    pub fn new(rel: impl AsRef<str>, args: Vec<Value>) -> Tuple {
+        Tuple {
+            rel: Arc::from(rel.as_ref()),
+            args,
+        }
+    }
+
+    /// Build a tuple from an already-interned relation name.
+    pub fn from_rel(rel: RelName, args: Vec<Value>) -> Tuple {
+        Tuple { rel, args }
+    }
+
+    /// The relation this tuple belongs to.
+    pub fn rel(&self) -> &str {
+        &self.rel
+    }
+
+    /// The interned relation name (cheap to clone).
+    pub fn rel_name(&self) -> &RelName {
+        &self.rel
+    }
+
+    /// All attribute values, location specifier first.
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The location specifier — the node this tuple lives at.
+    ///
+    /// Errors if the tuple has no attributes or the first attribute is not
+    /// an address.
+    pub fn loc(&self) -> Result<NodeId> {
+        self.args
+            .first()
+            .and_then(Value::as_addr)
+            .ok_or_else(|| Error::Schema(format!("tuple {self} has no location specifier")))
+    }
+
+    /// Canonical byte encoding of the whole tuple, used for `vid`/`evid`
+    /// computation. Injective: relation name is length-prefixed and each
+    /// value uses its own injective encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.rel.len() + self.args.len() * 12);
+        out.extend_from_slice(&(self.rel.len() as u32).to_be_bytes());
+        out.extend_from_slice(self.rel.as_bytes());
+        out.extend_from_slice(&(self.args.len() as u32).to_be_bytes());
+        for a in &self.args {
+            a.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// The content-addressed tuple id: `vid = sha1(tuple)`.
+    pub fn vid(&self) -> Vid {
+        Vid::of_bytes(&self.encode())
+    }
+
+    /// The event id used when this tuple is an input event: `evid`.
+    pub fn evid(&self) -> EvId {
+        EvId::of_bytes(&self.encode())
+    }
+}
+
+impl StorageSize for Tuple {
+    fn storage_size(&self) -> usize {
+        4 + self.rel.len()
+            + 4
+            + self
+                .args
+                .iter()
+                .map(StorageSize::storage_size)
+                .sum::<usize>()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if i == 0 {
+                write!(f, "@{a}")?;
+            } else {
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Shorthand macro for constructing tuples in tests and examples:
+/// `tuple!["packet", n(1), n(1), n(3), "data"]`.
+#[macro_export]
+macro_rules! tuple {
+    ($rel:expr $(, $arg:expr)* $(,)?) => {
+        $crate::Tuple::new($rel, vec![$($crate::Value::from($arg)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt() -> Tuple {
+        Tuple::new(
+            "packet",
+            vec![
+                Value::Addr(NodeId(1)),
+                Value::Addr(NodeId(1)),
+                Value::Addr(NodeId(3)),
+                Value::str("data"),
+            ],
+        )
+    }
+
+    #[test]
+    fn loc_is_first_attribute() {
+        assert_eq!(pkt().loc().unwrap(), NodeId(1));
+    }
+
+    #[test]
+    fn loc_errors_without_address() {
+        let t = Tuple::new("x", vec![Value::Int(3)]);
+        assert!(t.loc().is_err());
+        let empty = Tuple::new("x", vec![]);
+        assert!(empty.loc().is_err());
+    }
+
+    #[test]
+    fn vid_is_content_addressed() {
+        let a = pkt();
+        let b = pkt();
+        assert_eq!(a.vid(), b.vid());
+        let c = Tuple::new(
+            "packet",
+            vec![
+                Value::Addr(NodeId(1)),
+                Value::Addr(NodeId(1)),
+                Value::Addr(NodeId(3)),
+                Value::str("url"),
+            ],
+        );
+        assert_ne!(a.vid(), c.vid());
+    }
+
+    #[test]
+    fn vid_depends_on_relation_name() {
+        let a = Tuple::new("recv", vec![Value::Int(1)]);
+        let b = Tuple::new("sent", vec![Value::Int(1)]);
+        assert_ne!(a.vid(), b.vid());
+    }
+
+    #[test]
+    fn vid_and_evid_are_distinct_spaces() {
+        let t = pkt();
+        assert_ne!(t.vid().0, t.evid().0);
+    }
+
+    #[test]
+    fn encode_rel_name_boundary_is_unambiguous() {
+        // rel "ab" + first arg str "c..." vs rel "a" + args starting "bc"
+        let a = Tuple::new("ab", vec![Value::str("c")]);
+        let b = Tuple::new("a", vec![Value::str("bc")]);
+        assert_ne!(a.encode(), b.encode());
+        assert_ne!(a.vid(), b.vid());
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(pkt().to_string(), "packet(@n1, n1, n3, \"data\")");
+    }
+
+    #[test]
+    fn storage_size_sums_parts() {
+        let t = pkt();
+        // 4 + 6 ("packet") + 4 + (5 + 5 + 5 + (1+4+4))
+        assert_eq!(t.storage_size(), 4 + 6 + 4 + 5 + 5 + 5 + 9);
+    }
+
+    #[test]
+    fn tuple_macro() {
+        let t = tuple!["recv", NodeId(3), NodeId(1), NodeId(3), "data"];
+        assert_eq!(t.rel(), "recv");
+        assert_eq!(t.arity(), 4);
+        assert_eq!(t.loc().unwrap(), NodeId(3));
+    }
+}

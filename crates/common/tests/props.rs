@@ -1,0 +1,93 @@
+//! Property tests of the data model: canonical-encoding injectivity,
+//! hash identity, and storage-size consistency over random tuples.
+
+use dpc_common::{NodeId, StorageSize, Tuple, Value};
+use proptest::prelude::*;
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0u32..64).prop_map(|n| Value::Addr(NodeId(n))),
+        any::<i64>().prop_map(Value::Int),
+        "[ -~]{0,24}".prop_map(Value::Str), // printable ASCII incl. quotes
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn tuple() -> impl Strategy<Value = Tuple> {
+    (
+        "[a-z][a-zA-Z0-9_]{0,10}",
+        proptest::collection::vec(value(), 0..6),
+    )
+        .prop_map(|(rel, args)| Tuple::new(rel, args))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Equal tuples encode equally; unequal tuples encode differently
+    /// (the injectivity `vid` correctness rests on).
+    #[test]
+    fn encoding_is_injective(a in tuple(), b in tuple()) {
+        if a == b {
+            prop_assert_eq!(a.encode(), b.encode());
+            prop_assert_eq!(a.vid(), b.vid());
+            prop_assert_eq!(a.evid(), b.evid());
+        } else {
+            prop_assert_ne!(a.encode(), b.encode());
+        }
+    }
+
+    /// Encoding and hashing are deterministic.
+    #[test]
+    fn hashing_is_deterministic(t in tuple()) {
+        prop_assert_eq!(t.vid(), t.clone().vid());
+        prop_assert_eq!(t.encode(), t.clone().encode());
+    }
+
+    /// The vid and evid identifier spaces never collide.
+    #[test]
+    fn vid_and_evid_spaces_are_disjoint(a in tuple(), b in tuple()) {
+        prop_assert_ne!(a.vid().0, b.evid().0);
+    }
+
+    /// The storage-size model is structural: a tuple's size is the fixed
+    /// framing plus its parts, and sizes are positive and deterministic.
+    #[test]
+    fn storage_size_is_structural(t in tuple()) {
+        let parts: usize = t.args().iter().map(StorageSize::storage_size).sum();
+        prop_assert_eq!(t.storage_size(), 4 + t.rel().len() + 4 + parts);
+        prop_assert!(t.storage_size() >= 8);
+    }
+
+    /// Display output parses back to something stable (no panics) and
+    /// always carries the `@` location marker.
+    #[test]
+    fn display_is_stable(t in tuple()) {
+        let s1 = t.to_string();
+        let s2 = t.to_string();
+        prop_assert_eq!(&s1, &s2);
+        if t.arity() > 0 {
+            prop_assert!(s1.contains('@'));
+        }
+    }
+
+    /// SHA-1 streaming equals one-shot for arbitrary splits.
+    #[test]
+    fn sha1_streaming_matches_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512,
+    ) {
+        let split = split.min(data.len());
+        let mut h = dpc_common::Sha1::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finish(), dpc_common::sha1(&data));
+    }
+
+    /// Digest hex round trips.
+    #[test]
+    fn digest_hex_round_trips(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let d = dpc_common::sha1(&data);
+        prop_assert_eq!(dpc_common::Digest::from_hex(&d.to_hex()), Some(d));
+    }
+}

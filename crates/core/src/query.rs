@@ -1,0 +1,838 @@
+//! Distributed provenance querying (Sections 2.2, 4 and 5.6) with the
+//! latency cost model used for Figure 12.
+//!
+//! A query starts at the node holding the queried output tuple and walks
+//! the distributed provenance tables:
+//!
+//! * **ExSPAN**'s recursive query is *querier-driven*: the querier hashes
+//!   a tuple to its `vid`, fetches its `prov` row (and the tuple's
+//!   content — ExSPAN materializes every intermediate tuple and the
+//!   querier retrieves them to present the tree), then uses the returned
+//!   `(RID, RLoc)` to fetch the `ruleExec` row, then the children — each
+//!   dependent lookup round costs a round trip from the querier
+//!   (Section 2.2 walks vid6 → rid3 → vid5 → ... exactly this way).
+//! * **Basic** and **Advanced** send a query that *travels* the
+//!   `(NLoc, NRID)` chain hop by hop — the chain nodes are the original
+//!   forwarding path, so consecutive nodes are neighbors — collecting the
+//!   small `ruleExec` rows and leaf tuples, then the querier *re-derives*
+//!   the intermediate tuples locally ([`crate::reconstruct`]).
+//!
+//! This difference — per-level round trips touching large intermediate
+//! tuples vs. a single traversal touching small rows — is what produces
+//! the ~3x latency gap of Figure 12.
+//!
+//! The cost model: each remote lookup round costs a querier round trip
+//! (ExSPAN) or a hop move (Basic/Advanced) at shortest-path latency, plus
+//! per-row processing; fetched bytes ship to the querier at the bottleneck
+//! bandwidth; reconstruction costs compute time per re-executed rule.
+
+use dpc_common::{Error, EvId, NodeId, Result, StorageSize, Tuple, Vid};
+use dpc_engine::{FnRegistry, ProvRecorder, Runtime};
+use dpc_ndlog::Delp;
+use dpc_netsim::{Network, SimTime};
+
+use crate::advanced::AdvancedRecorder;
+use crate::basic::BasicRecorder;
+use crate::exspan::ExspanRecorder;
+use crate::reconstruct::{reconstruct, ChainLevel};
+use crate::storage::ProvRowAdv;
+use crate::storage::RuleExecView;
+use crate::tree::ProvTree;
+
+/// Resolves tuple contents at query time: the leaf tuples referenced by
+/// `VIDS` columns and the materialized input events referenced by `EVID`.
+pub trait TupleResolver {
+    /// The input event materialized at `node` under `evid`.
+    fn event_by_evid(&self, node: NodeId, evid: &EvId) -> Option<&Tuple>;
+    /// Any tuple stored at `node` by content hash.
+    fn tuple_by_vid(&self, node: NodeId, vid: &Vid) -> Option<&Tuple>;
+}
+
+impl<R: ProvRecorder> TupleResolver for Runtime<R> {
+    fn event_by_evid(&self, node: NodeId, evid: &EvId) -> Option<&Tuple> {
+        Runtime::event_by_evid(self, node, evid)
+    }
+    fn tuple_by_vid(&self, node: NodeId, vid: &Vid) -> Option<&Tuple> {
+        Runtime::tuple_by_vid(self, node, vid)
+    }
+}
+
+/// Query-time cost parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryCostModel {
+    /// Processing time per row looked up at a node.
+    pub per_row_proc: SimTime,
+    /// Compute time per rule re-executed during reconstruction.
+    pub reexec_per_rule: SimTime,
+}
+
+impl Default for QueryCostModel {
+    fn default() -> Self {
+        QueryCostModel {
+            per_row_proc: SimTime::from_micros(50),
+            reexec_per_rule: SimTime::from_micros(20),
+        }
+    }
+}
+
+/// Everything a query needs besides the scheme's tables.
+pub struct QueryCtx<'a> {
+    /// The network (for latency and bandwidth between nodes).
+    pub net: &'a Network,
+    /// The deployed program (for reconstruction).
+    pub delp: &'a Delp,
+    /// User-defined functions (for reconstruction).
+    pub fns: &'a FnRegistry,
+    /// Tuple content resolution.
+    pub resolver: &'a dyn TupleResolver,
+    /// Cost parameters.
+    pub cost: QueryCostModel,
+}
+
+impl<'a> QueryCtx<'a> {
+    /// Build a context borrowing everything from a finished runtime.
+    pub fn from_runtime<R: ProvRecorder>(rt: &'a Runtime<R>) -> QueryCtx<'a> {
+        QueryCtx {
+            net: rt.net(),
+            delp: rt.delp(),
+            fns: rt.fns(),
+            resolver: rt,
+            cost: QueryCostModel::default(),
+        }
+    }
+}
+
+/// The result of one provenance query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The reconstructed full provenance tree.
+    pub tree: ProvTree,
+    /// End-to-end query latency under the cost model.
+    pub latency: SimTime,
+    /// Rows and tuple contents fetched.
+    pub fetches: usize,
+    /// Total bytes shipped back to the querier.
+    pub bytes: usize,
+}
+
+/// Walk-state shared by the three query algorithms.
+struct Walker<'a> {
+    ctx: &'a QueryCtx<'a>,
+    querier: NodeId,
+    cur: NodeId,
+    latency: SimTime,
+    transfer: SimTime,
+    bytes: usize,
+    fetches: usize,
+}
+
+impl<'a> Walker<'a> {
+    fn new(ctx: &'a QueryCtx<'a>, querier: NodeId) -> Walker<'a> {
+        Walker {
+            ctx,
+            querier,
+            cur: querier,
+            latency: SimTime::ZERO,
+            transfer: SimTime::ZERO,
+            bytes: 0,
+            fetches: 0,
+        }
+    }
+
+    /// Move the query cursor to `node`.
+    fn move_to(&mut self, node: NodeId) -> Result<()> {
+        if node != self.cur {
+            self.latency += self.ctx.net.path_latency(self.cur, node)?;
+            self.cur = node;
+        }
+        Ok(())
+    }
+
+    /// One querier-driven lookup round at `node`: a round trip from the
+    /// querier plus per-item processing and response shipping. Items known
+    /// upfront batch into a single round; dependent lookups need their own
+    /// round. This is ExSPAN's query pattern.
+    fn round(&mut self, node: NodeId, item_bytes: &[usize]) -> Result<()> {
+        let one_way = self.ctx.net.path_latency(self.querier, node)?;
+        self.latency += one_way + one_way;
+        for &bytes in item_bytes {
+            self.latency += self.ctx.cost.per_row_proc;
+            self.bytes += bytes;
+            self.fetches += 1;
+            if node != self.querier {
+                let bps = self.ctx.net.path_bottleneck_bps(self.querier, node)?;
+                let ns = (bytes as u128 * 8 * 1_000_000_000 / bps as u128) as u64;
+                self.latency += SimTime::from_nanos(ns);
+            }
+        }
+        Ok(())
+    }
+
+    /// Account one row/content fetch of `bytes` at the cursor.
+    fn fetch(&mut self, bytes: usize) -> Result<()> {
+        self.latency += self.ctx.cost.per_row_proc;
+        self.bytes += bytes;
+        self.fetches += 1;
+        if self.cur != self.querier {
+            let bps = self.ctx.net.path_bottleneck_bps(self.querier, self.cur)?;
+            let ns = (bytes as u128 * 8 * 1_000_000_000 / bps as u128) as u64;
+            self.transfer += SimTime::from_nanos(ns);
+        }
+        Ok(())
+    }
+
+    /// Return to the querier and account the response shipping.
+    fn finish(&mut self) -> Result<()> {
+        self.latency += self.ctx.net.path_latency(self.cur, self.querier)?;
+        self.cur = self.querier;
+        self.latency += self.transfer;
+        Ok(())
+    }
+
+    fn into_result(self, tree: ProvTree) -> QueryResult {
+        QueryResult {
+            tree,
+            latency: self.latency,
+            fetches: self.fetches,
+            bytes: self.bytes,
+        }
+    }
+}
+
+fn view_size(v: &RuleExecView) -> usize {
+    4 + 20 + (4 + v.rule.len()) + 4 + v.vids.len() * 20 + v.next.storage_size()
+}
+
+enum Walked {
+    Derived(ProvTree),
+    Base(Tuple),
+}
+
+/// Query an ExSPAN-maintained provenance tree for `output`.
+pub fn query_exspan(
+    ctx: &QueryCtx<'_>,
+    rec: &ExspanRecorder,
+    output: &Tuple,
+) -> Result<QueryResult> {
+    let querier = output.loc()?;
+    let mut w = Walker::new(ctx, querier);
+    let walked = walk_exspan(ctx, rec, &mut w, output.vid(), querier)?;
+    match walked {
+        Walked::Derived(tree) => Ok(w.into_result(tree)),
+        Walked::Base(t) => Err(Error::ProvenanceLookup(format!(
+            "{t} is a base tuple, not a derived output"
+        ))),
+    }
+}
+
+fn walk_exspan(
+    ctx: &QueryCtx<'_>,
+    rec: &ExspanRecorder,
+    w: &mut Walker<'_>,
+    vid: Vid,
+    loc: NodeId,
+) -> Result<Walked> {
+    // Round at `loc`: the tuple's prov row plus its content — ExSPAN
+    // materializes every tuple and the querier retrieves it to present
+    // the tree. (For the output tuple this round is local to the querier.)
+    let prov = rec
+        .prov_row(loc, &vid)
+        .ok_or_else(|| Error::ProvenanceLookup(format!("no prov row for {vid} at {loc}")))?
+        .clone();
+    let tuple = ctx
+        .resolver
+        .tuple_by_vid(loc, &vid)
+        .ok_or_else(|| {
+            Error::ProvenanceLookup(format!("tuple content for {vid} missing at {loc}"))
+        })?
+        .clone();
+    w.round(loc, &[prov.storage_size(), tuple.storage_size()])?;
+    match descend_exspan(ctx, rec, w, tuple, &prov)? {
+        Some(tree) => Ok(Walked::Derived(tree)),
+        None => {
+            let t = ctx
+                .resolver
+                .tuple_by_vid(loc, &vid)
+                .expect("fetched above")
+                .clone();
+            Ok(Walked::Base(t))
+        }
+    }
+}
+
+/// Expand one derived tuple level by level. Per level, a single batched
+/// round at the deriving node fetches the `ruleExec` row together with
+/// every child's prov row and content (all local to that node); only the
+/// event child's own derivation requires descending further. Returns
+/// `None` when `prov` marks a base tuple.
+fn descend_exspan(
+    ctx: &QueryCtx<'_>,
+    rec: &ExspanRecorder,
+    w: &mut Walker<'_>,
+    tuple: Tuple,
+    prov: &crate::storage::ProvRow,
+) -> Result<Option<ProvTree>> {
+    let (Some(rid), Some(rloc)) = (prov.rid, prov.rloc) else {
+        return Ok(None);
+    };
+    let re = rec
+        .rule_exec(rloc, &rid)
+        .ok_or_else(|| Error::ProvenanceLookup(format!("no ruleExec row {rid} at {rloc}")))?
+        .clone();
+    if re.vids.is_empty() {
+        return Err(Error::ProvenanceLookup(format!(
+            "ruleExec {rid} has no children"
+        )));
+    }
+
+    // Batched round at rloc: ruleExec row + every child's prov row and
+    // content (the children of a rule execution all live at rloc).
+    let mut items = vec![re.size_bytes(false)];
+    let mut child_provs = Vec::with_capacity(re.vids.len());
+    let mut child_tuples = Vec::with_capacity(re.vids.len());
+    for v in &re.vids {
+        let p = rec
+            .prov_row(rloc, v)
+            .ok_or_else(|| Error::ProvenanceLookup(format!("no prov row for child {v} at {rloc}")))?
+            .clone();
+        let t = ctx.resolver.tuple_by_vid(rloc, v).ok_or_else(|| {
+            Error::ProvenanceLookup(format!("child tuple content {v} missing at {rloc}"))
+        })?;
+        items.push(p.storage_size());
+        items.push(t.storage_size());
+        child_provs.push(p);
+        child_tuples.push(t.clone());
+    }
+    w.round(rloc, &items)?;
+
+    // Children after the first are the slow-changing leaves.
+    for (v, p) in re.vids[1..].iter().zip(&child_provs[1..]) {
+        if p.rid.is_some() {
+            return Err(Error::ProvenanceLookup(format!(
+                "slow child {v} of {rid} is unexpectedly derived"
+            )));
+        }
+    }
+    let slow: Vec<Tuple> = child_tuples[1..].to_vec();
+
+    // The event child may itself be derived: descend.
+    let event_tuple = child_tuples[0].clone();
+    let tree = match descend_exspan(ctx, rec, w, event_tuple.clone(), &child_provs[0])? {
+        Some(child) => ProvTree::Node {
+            rule: re.rule.clone(),
+            output: tuple,
+            child: Box::new(child),
+            slow,
+        },
+        None => ProvTree::Leaf {
+            rule: re.rule.clone(),
+            output: tuple,
+            event: event_tuple,
+            slow,
+        },
+    };
+    Ok(Some(tree))
+}
+
+/// Query a Basic-maintained provenance tree for `output`.
+pub fn query_basic(ctx: &QueryCtx<'_>, rec: &BasicRecorder, output: &Tuple) -> Result<QueryResult> {
+    let querier = output.loc()?;
+    let mut w = Walker::new(ctx, querier);
+    let prov = rec
+        .prov_row(querier, &output.vid())
+        .ok_or_else(|| Error::ProvenanceLookup(format!("no prov row for {output} at {querier}")))?
+        .clone();
+    w.fetch(prov.storage_size())?;
+    let (mut loc, mut rid) = (
+        prov.rloc.expect("basic prov rows always reference a rule"),
+        prov.rid.expect("basic prov rows always reference a rule"),
+    );
+
+    // Step 1: fetch the optimized chain.
+    let mut chain = Vec::new();
+    let event;
+    loop {
+        w.move_to(loc)?;
+        let row = rec
+            .rule_exec(loc, &rid)
+            .ok_or_else(|| Error::ProvenanceLookup(format!("no ruleExec row {rid} at {loc}")))?
+            .clone();
+        w.fetch(row.size_bytes(true))?;
+        // On the chain tail the first vid is the input event.
+        let (event_vid, slow_vids) = if row.next.is_none() {
+            let Some((first, rest)) = row.vids.split_first() else {
+                return Err(Error::ProvenanceLookup(format!(
+                    "chain tail {rid} lacks its event vid"
+                )));
+            };
+            (Some(*first), rest)
+        } else {
+            (None, &row.vids[..])
+        };
+        let mut slow = Vec::with_capacity(slow_vids.len());
+        for v in slow_vids {
+            let t = ctx.resolver.tuple_by_vid(loc, v).ok_or_else(|| {
+                Error::ProvenanceLookup(format!("slow tuple {v} missing at {loc}"))
+            })?;
+            w.fetch(t.storage_size())?;
+            slow.push(t.clone());
+        }
+        chain.push(ChainLevel {
+            rule: row.rule.clone(),
+            slow,
+        });
+        match row.next {
+            Some((nloc, nrid)) => {
+                loc = nloc;
+                rid = nrid;
+            }
+            None => {
+                let ev_vid = event_vid.expect("set on the tail branch");
+                let ev = ctx.resolver.tuple_by_vid(loc, &ev_vid).ok_or_else(|| {
+                    Error::ProvenanceLookup(format!("event tuple {ev_vid} missing at {loc}"))
+                })?;
+                w.fetch(ev.storage_size())?;
+                event = ev.clone();
+                break;
+            }
+        }
+    }
+    w.finish()?;
+
+    // Step 2: recompute the intermediate provenance nodes locally.
+    w.latency += SimTime::from_nanos(ctx.cost.reexec_per_rule.as_nanos() * chain.len() as u64);
+    let tree = reconstruct(ctx.delp, ctx.fns, &chain, &event)?;
+    if tree.output() != output {
+        return Err(Error::ProvenanceLookup(format!(
+            "reconstruction produced {} instead of {output}",
+            tree.output()
+        )));
+    }
+    Ok(w.into_result(tree))
+}
+
+/// Storage interface the Advanced query walks: implemented by
+/// [`AdvancedRecorder`] and by the cross-program recorder
+/// ([`crate::crossprog::CrossProgramRecorder`]).
+pub trait AdvancedStore {
+    /// All `prov` rows for one output tuple and execution (`GET_PROV`).
+    fn lookup_prov(&self, loc: NodeId, vid: &Vid, evid: &EvId) -> Vec<ProvRowAdv>;
+    /// Resolve one rule-execution provenance node.
+    fn lookup_rule_exec(
+        &self,
+        loc: NodeId,
+        rid: &dpc_common::Rid,
+    ) -> Option<crate::storage::RuleExecView>;
+}
+
+impl AdvancedStore for AdvancedRecorder {
+    fn lookup_prov(&self, loc: NodeId, vid: &Vid, evid: &EvId) -> Vec<ProvRowAdv> {
+        self.prov_rows(loc, vid, evid).cloned().collect()
+    }
+    fn lookup_rule_exec(
+        &self,
+        loc: NodeId,
+        rid: &dpc_common::Rid,
+    ) -> Option<crate::storage::RuleExecView> {
+        self.rule_exec(loc, rid)
+    }
+}
+
+/// Query an Advanced-maintained provenance tree for `output` derived by the
+/// execution identified by `evid` (Section 5.6).
+///
+/// An execution may have stored several derivations (`GET_PROV` returns a
+/// list; Appendix E); each is walked and reconstructed in turn, and the
+/// one reproducing `output` is returned.
+pub fn query_advanced<S: AdvancedStore>(
+    ctx: &QueryCtx<'_>,
+    rec: &S,
+    output: &Tuple,
+    evid: &EvId,
+) -> Result<QueryResult> {
+    let querier = output.loc()?;
+    let mut w = Walker::new(ctx, querier);
+    let provs: Vec<_> = rec.lookup_prov(querier, &output.vid(), evid);
+    if provs.is_empty() {
+        return Err(Error::ProvenanceLookup(format!(
+            "no prov row for {output} / {evid} at {querier}"
+        )));
+    }
+    let mut tree = None;
+    for prov in &provs {
+        w.fetch(prov.storage_size())?;
+        let (chain, tail_loc) = walk_chain_advanced(ctx, rec, &mut w, prov.rloc, prov.rid)?;
+        // The event peculiar to this execution, materialized at the input
+        // node (the chain tail).
+        let event = ctx
+            .resolver
+            .event_by_evid(tail_loc, evid)
+            .ok_or_else(|| {
+                Error::ProvenanceLookup(format!("event {evid} not materialized at {tail_loc}"))
+            })?
+            .clone();
+        w.fetch(event.storage_size())?;
+        // TRANSFORM_TO_D: rebuild the full tree for *this* event.
+        w.latency += SimTime::from_nanos(ctx.cost.reexec_per_rule.as_nanos() * chain.len() as u64);
+        let candidate = reconstruct(ctx.delp, ctx.fns, &chain, &event)?;
+        if candidate.output() == output {
+            tree = Some(candidate);
+            break;
+        }
+        // A sibling derivation of the same execution (e.g. a rule that
+        // joined several slow rows); keep trying.
+        w.cur = querier;
+    }
+    w.finish()?;
+    match tree {
+        Some(tree) => Ok(w.into_result(tree)),
+        None => Err(Error::ProvenanceLookup(format!(
+            "none of the {} stored derivations reproduces {output}",
+            provs.len()
+        ))),
+    }
+}
+
+/// The full `QUERY` of Appendix E (Figure 18): return *every* derivation
+/// of `output` by the execution `evid` — the set `M`. Multiple
+/// derivations arise when a rule joined several slow rows that produced
+/// the same head tuple.
+pub fn query_advanced_all<S: AdvancedStore>(
+    ctx: &QueryCtx<'_>,
+    rec: &S,
+    output: &Tuple,
+    evid: &EvId,
+) -> Result<Vec<QueryResult>> {
+    let querier = output.loc()?;
+    let provs: Vec<_> = rec.lookup_prov(querier, &output.vid(), evid);
+    if provs.is_empty() {
+        return Err(Error::ProvenanceLookup(format!(
+            "no prov row for {output} / {evid} at {querier}"
+        )));
+    }
+    let mut results = Vec::new();
+    for prov in &provs {
+        let mut w = Walker::new(ctx, querier);
+        w.fetch(prov.storage_size())?;
+        let (chain, tail_loc) = walk_chain_advanced(ctx, rec, &mut w, prov.rloc, prov.rid)?;
+        let event = ctx
+            .resolver
+            .event_by_evid(tail_loc, evid)
+            .ok_or_else(|| {
+                Error::ProvenanceLookup(format!("event {evid} not materialized at {tail_loc}"))
+            })?
+            .clone();
+        w.fetch(event.storage_size())?;
+        w.finish()?;
+        w.latency += SimTime::from_nanos(ctx.cost.reexec_per_rule.as_nanos() * chain.len() as u64);
+        let tree = reconstruct(ctx.delp, ctx.fns, &chain, &event)?;
+        if tree.output() == output {
+            results.push(w.into_result(tree));
+        }
+        // Non-matching reconstructions belong to sibling outputs of the
+        // same compressed execution (e.g. other DHCP pool addresses).
+    }
+    if results.is_empty() {
+        return Err(Error::ProvenanceLookup(format!(
+            "none of the {} stored derivations reproduces {output}",
+            provs.len()
+        )));
+    }
+    Ok(results)
+}
+
+/// QR (Appendix E): recursive fetch along `(NLoc, NRID)`. Returns the
+/// chain root-first plus the tail node (where the input event entered).
+fn walk_chain_advanced<S: AdvancedStore>(
+    ctx: &QueryCtx<'_>,
+    rec: &S,
+    w: &mut Walker<'_>,
+    mut loc: NodeId,
+    mut rid: dpc_common::Rid,
+) -> Result<(Vec<ChainLevel>, NodeId)> {
+    let mut chain = Vec::new();
+    loop {
+        w.move_to(loc)?;
+        let view = rec
+            .lookup_rule_exec(loc, &rid)
+            .ok_or_else(|| Error::ProvenanceLookup(format!("no ruleExec node {rid} at {loc}")))?;
+        w.fetch(view_size(&view))?;
+        let mut slow = Vec::with_capacity(view.vids.len());
+        for v in &view.vids {
+            let t = ctx.resolver.tuple_by_vid(loc, v).ok_or_else(|| {
+                Error::ProvenanceLookup(format!("slow tuple {v} missing at {loc}"))
+            })?;
+            w.fetch(t.storage_size())?;
+            slow.push(t.clone());
+        }
+        chain.push(ChainLevel {
+            rule: view.rule.clone(),
+            slow,
+        });
+        match view.next {
+            Some((nloc, nrid)) => {
+                loc = nloc;
+                rid = nrid;
+            }
+            None => return Ok((chain, loc)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::GroundTruthRecorder;
+    use dpc_common::Value;
+    use dpc_engine::TeeRecorder;
+    use dpc_ndlog::{equivalence_keys, programs};
+    use dpc_netsim::{topo, Link};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn packet(loc: u32, src: u32, dst: u32, payload: &str) -> Tuple {
+        Tuple::new(
+            "packet",
+            vec![
+                Value::Addr(n(loc)),
+                Value::Addr(n(src)),
+                Value::Addr(n(dst)),
+                Value::str(payload),
+            ],
+        )
+    }
+
+    fn route(loc: u32, dst: u32, next: u32) -> Tuple {
+        Tuple::new(
+            "route",
+            vec![
+                Value::Addr(n(loc)),
+                Value::Addr(n(dst)),
+                Value::Addr(n(next)),
+            ],
+        )
+    }
+
+    fn setup<R: ProvRecorder>(k: usize, rec: R, payloads: &[&str]) -> Runtime<R> {
+        let net = topo::line(k, Link::STUB_STUB);
+        let mut rt = Runtime::new(programs::packet_forwarding(), net, rec);
+        for i in 0..k as u32 - 1 {
+            rt.install(route(i, k as u32 - 1, i + 1)).unwrap();
+        }
+        for p in payloads {
+            rt.inject(packet(0, 0, k as u32 - 1, p)).unwrap();
+        }
+        rt.run().unwrap();
+        rt
+    }
+
+    #[test]
+    fn exspan_query_returns_ground_truth() {
+        let rec = TeeRecorder::new(ExspanRecorder::new(4), GroundTruthRecorder::new());
+        let rt = setup(4, rec, &["data"]);
+        let ctx = QueryCtx::from_runtime(&rt);
+        let out = rt.outputs()[0].clone();
+        let res = query_exspan(&ctx, &rt.recorder().primary, &out.tuple).unwrap();
+        let truth = rt
+            .recorder()
+            .shadow
+            .tree_for(&out.tuple, &out.evid)
+            .unwrap();
+        assert_eq!(&res.tree, truth);
+        assert!(res.latency > SimTime::ZERO);
+        assert!(res.fetches > 0);
+    }
+
+    #[test]
+    fn basic_query_returns_ground_truth() {
+        let rec = TeeRecorder::new(BasicRecorder::new(4), GroundTruthRecorder::new());
+        let rt = setup(4, rec, &["data"]);
+        let ctx = QueryCtx::from_runtime(&rt);
+        let out = rt.outputs()[0].clone();
+        let res = query_basic(&ctx, &rt.recorder().primary, &out.tuple).unwrap();
+        let truth = rt
+            .recorder()
+            .shadow
+            .tree_for(&out.tuple, &out.evid)
+            .unwrap();
+        assert_eq!(&res.tree, truth);
+    }
+
+    #[test]
+    fn advanced_query_returns_ground_truth_for_both_class_members() {
+        let keys = equivalence_keys(&programs::packet_forwarding());
+        let rec = TeeRecorder::new(AdvancedRecorder::new(4, keys), GroundTruthRecorder::new());
+        let rt = setup(4, rec, &["data", "url"]);
+        let ctx = QueryCtx::from_runtime(&rt);
+        for out in rt.outputs() {
+            let res = query_advanced(&ctx, &rt.recorder().primary, &out.tuple, &out.evid).unwrap();
+            let truth = rt
+                .recorder()
+                .shadow
+                .tree_for(&out.tuple, &out.evid)
+                .unwrap();
+            assert_eq!(&res.tree, truth, "output {}", out.tuple);
+        }
+    }
+
+    #[test]
+    fn advanced_query_works_with_inter_class_layout() {
+        let keys = equivalence_keys(&programs::packet_forwarding());
+        let rec = TeeRecorder::new(
+            AdvancedRecorder::with_inter_class(4, keys),
+            GroundTruthRecorder::new(),
+        );
+        let rt = setup(4, rec, &["data", "url"]);
+        let ctx = QueryCtx::from_runtime(&rt);
+        for out in rt.outputs() {
+            let res = query_advanced(&ctx, &rt.recorder().primary, &out.tuple, &out.evid).unwrap();
+            let truth = rt
+                .recorder()
+                .shadow
+                .tree_for(&out.tuple, &out.evid)
+                .unwrap();
+            assert_eq!(&res.tree, truth);
+        }
+    }
+
+    #[test]
+    fn basic_and_advanced_undercut_exspan_latency() {
+        // Large payload so ExSPAN's intermediate-tuple fetches dominate.
+        let payload = "x".repeat(500);
+        let payloads = [payload.as_str()];
+
+        let rt_e = setup(6, ExspanRecorder::new(6), &payloads);
+        let rt_b = setup(6, BasicRecorder::new(6), &payloads);
+        let keys = equivalence_keys(&programs::packet_forwarding());
+        let rt_a = setup(6, AdvancedRecorder::new(6, keys), &payloads);
+
+        let out_e = rt_e.outputs()[0].clone();
+        let le = query_exspan(
+            &QueryCtx::from_runtime(&rt_e),
+            rt_e.recorder(),
+            &out_e.tuple,
+        )
+        .unwrap()
+        .latency;
+        let out_b = rt_b.outputs()[0].clone();
+        let lb = query_basic(
+            &QueryCtx::from_runtime(&rt_b),
+            rt_b.recorder(),
+            &out_b.tuple,
+        )
+        .unwrap()
+        .latency;
+        let out_a = rt_a.outputs()[0].clone();
+        let la = query_advanced(
+            &QueryCtx::from_runtime(&rt_a),
+            rt_a.recorder(),
+            &out_a.tuple,
+            &out_a.evid,
+        )
+        .unwrap()
+        .latency;
+
+        assert!(lb < le, "basic {lb} should undercut exspan {le}");
+        assert!(la < le, "advanced {la} should undercut exspan {le}");
+    }
+
+    #[test]
+    fn query_all_returns_every_derivation() {
+        // A program where one event derives the same output through two
+        // different slow rows: out(@X) ignores the slow row's payload.
+        let src = r#"
+            r1 mid(@X, K) :- e(@X, K), s(@X, K, K).
+            r2 out(@X, K) :- mid(@X, K), t(@X, K).
+        "#;
+        let delp = dpc_ndlog::Delp::new(dpc_ndlog::parse_program(src).unwrap()).unwrap();
+        let keys = dpc_ndlog::equivalence_keys(&delp);
+        let rec = TeeRecorder::new(
+            AdvancedRecorder::new(1, keys),
+            crate::GroundTruthRecorder::new(),
+        );
+        let mut rt = dpc_engine::Runtime::new(delp, dpc_netsim::Network::with_nodes(1), rec);
+        // Two distinct `t` rows joining the same mid tuple -> two
+        // derivations of the same `out` tuple.
+        let t1 = Tuple::new("t", vec![Value::Addr(n(0)), Value::Int(1)]);
+        rt.install(Tuple::new(
+            "s",
+            vec![Value::Addr(n(0)), Value::Int(1), Value::Int(1)],
+        ))
+        .unwrap();
+        rt.install(t1).unwrap();
+        rt.inject(Tuple::new("e", vec![Value::Addr(n(0)), Value::Int(1)]))
+            .unwrap();
+        rt.run().unwrap();
+        assert_eq!(rt.outputs().len(), 1);
+        let out = rt.outputs()[0].clone();
+        let ctx = QueryCtx::from_runtime(&rt);
+        let all =
+            super::query_advanced_all(&ctx, &rt.recorder().primary, &out.tuple, &out.evid).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].tree.output(), &out.tuple);
+    }
+
+    #[test]
+    fn query_all_returns_multiple_trees_for_multi_derivations() {
+        // Same head from two different slow rows: head omits the joined
+        // attribute that differs.
+        let src = r#"
+            r1 out(@X, K) :- e(@X, K), s(@X, V).
+        "#;
+        let delp = dpc_ndlog::Delp::new(dpc_ndlog::parse_program(src).unwrap()).unwrap();
+        let keys = dpc_ndlog::equivalence_keys(&delp);
+        let mut rt = dpc_engine::Runtime::new(
+            delp,
+            dpc_netsim::Network::with_nodes(1),
+            AdvancedRecorder::new(1, keys),
+        );
+        rt.install(Tuple::new("s", vec![Value::Addr(n(0)), Value::Int(7)]))
+            .unwrap();
+        rt.install(Tuple::new("s", vec![Value::Addr(n(0)), Value::Int(8)]))
+            .unwrap();
+        rt.inject(Tuple::new("e", vec![Value::Addr(n(0)), Value::Int(1)]))
+            .unwrap();
+        rt.run().unwrap();
+        // The same out tuple derives twice (once per s row).
+        assert_eq!(rt.outputs().len(), 2);
+        assert_eq!(rt.outputs()[0].tuple, rt.outputs()[1].tuple);
+        let out = rt.outputs()[0].clone();
+        let ctx = QueryCtx::from_runtime(&rt);
+        let all = super::query_advanced_all(&ctx, rt.recorder(), &out.tuple, &out.evid).unwrap();
+        assert_eq!(all.len(), 2, "both derivations are returned (the set M)");
+        assert_ne!(all[0].tree, all[1].tree);
+        assert!(all.iter().all(|r| r.tree.output() == &out.tuple));
+        // They differ exactly in the slow tuple used.
+        let slows: std::collections::BTreeSet<_> =
+            all.iter().map(|r| r.tree.slow()[0].clone()).collect();
+        assert_eq!(slows.len(), 2);
+    }
+
+    #[test]
+    fn query_for_unknown_tuple_errors() {
+        let rt = setup(3, ExspanRecorder::new(3), &["data"]);
+        let ctx = QueryCtx::from_runtime(&rt);
+        let bogus = Tuple::new("recv", vec![Value::Addr(n(2)), Value::str("nope")]);
+        assert!(query_exspan(&ctx, rt.recorder(), &bogus).is_err());
+    }
+
+    #[test]
+    fn advanced_query_requires_matching_evid() {
+        let keys = equivalence_keys(&programs::packet_forwarding());
+        let rt = setup(3, AdvancedRecorder::new(3, keys), &["data"]);
+        let ctx = QueryCtx::from_runtime(&rt);
+        let out = rt.outputs()[0].clone();
+        let wrong = EvId::of_bytes(b"other");
+        assert!(query_advanced(&ctx, rt.recorder(), &out.tuple, &wrong).is_err());
+    }
+
+    #[test]
+    fn querying_base_tuple_via_exspan_errors() {
+        let rt = setup(3, ExspanRecorder::new(3), &["data"]);
+        let ctx = QueryCtx::from_runtime(&rt);
+        let err = query_exspan(&ctx, rt.recorder(), &route(0, 2, 1)).unwrap_err();
+        assert!(err.to_string().contains("base tuple"), "{err}");
+    }
+}

@@ -1,0 +1,415 @@
+//! Provenance trees (Appendix A).
+//!
+//! A provenance tree of a DELP execution is a *chain*: each level is one
+//! rule execution, with the slow-changing tuples it joined as leaf
+//! children, ending at the input event tuple. Formally (Appendix A):
+//!
+//! ```text
+//! tr ::= <rID, P, ev, B1::...::Bn>      -- leaf: the rule fired on the event
+//!      | <rID, P, tr, B1::...::Bn>      -- node: the rule fired on tr's output
+//! ```
+
+use std::fmt;
+
+use dpc_common::Tuple;
+
+/// A provenance tree rooted at its output tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvTree {
+    /// The first rule execution of the chain: triggered directly by the
+    /// input event.
+    Leaf {
+        /// Label of the executed rule.
+        rule: String,
+        /// The derived (output-of-this-rule) tuple `P`.
+        output: Tuple,
+        /// The input event tuple `ev`.
+        event: Tuple,
+        /// Slow-changing tuples joined, in body order.
+        slow: Vec<Tuple>,
+    },
+    /// A later rule execution, triggered by the child tree's output.
+    Node {
+        /// Label of the executed rule.
+        rule: String,
+        /// The derived tuple `P`.
+        output: Tuple,
+        /// The sub-tree that derived this rule's triggering event.
+        child: Box<ProvTree>,
+        /// Slow-changing tuples joined, in body order.
+        slow: Vec<Tuple>,
+    },
+}
+
+impl ProvTree {
+    /// The tuple this tree derives (the root tuple node).
+    pub fn output(&self) -> &Tuple {
+        match self {
+            ProvTree::Leaf { output, .. } | ProvTree::Node { output, .. } => output,
+        }
+    }
+
+    /// The input event at the bottom of the chain.
+    pub fn event(&self) -> &Tuple {
+        match self {
+            ProvTree::Leaf { event, .. } => event,
+            ProvTree::Node { child, .. } => child.event(),
+        }
+    }
+
+    /// The rule label at this level.
+    pub fn rule(&self) -> &str {
+        match self {
+            ProvTree::Leaf { rule, .. } | ProvTree::Node { rule, .. } => rule,
+        }
+    }
+
+    /// Slow-changing tuples at this level.
+    pub fn slow(&self) -> &[Tuple] {
+        match self {
+            ProvTree::Leaf { slow, .. } | ProvTree::Node { slow, .. } => slow,
+        }
+    }
+
+    /// The child tree, if this is not the leaf level.
+    pub fn child(&self) -> Option<&ProvTree> {
+        match self {
+            ProvTree::Leaf { .. } => None,
+            ProvTree::Node { child, .. } => Some(child),
+        }
+    }
+
+    /// Rule labels from root to leaf.
+    pub fn rules(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut cur = Some(self);
+        while let Some(t) = cur {
+            out.push(t.rule());
+            cur = t.child();
+        }
+        out
+    }
+
+    /// Number of rule executions in the chain (= tree depth).
+    pub fn depth(&self) -> usize {
+        1 + self.child().map_or(0, ProvTree::depth)
+    }
+
+    /// Total provenance nodes: rule nodes plus tuple nodes (output,
+    /// intermediate events, event, and slow leaves) — the size of the
+    /// drawn tree in Figure 3.
+    pub fn node_count(&self) -> usize {
+        // Per level: 1 rule node + 1 derived-tuple node + slow leaves;
+        // plus the event tuple node at the bottom.
+        match self {
+            ProvTree::Leaf { slow, .. } => 1 + 1 + slow.len() + 1,
+            ProvTree::Node { child, slow, .. } => 1 + 1 + slow.len() + child.node_count(),
+        }
+    }
+
+    /// Tree equivalence `tr ~ tr'` (Section 5.1, Appendix A): identical
+    /// rule sequences and identical slow-changing tuples at every level;
+    /// the output tuples and input events may differ.
+    pub fn equivalent(&self, other: &ProvTree) -> bool {
+        match (self, other) {
+            (
+                ProvTree::Leaf {
+                    rule: r1, slow: s1, ..
+                },
+                ProvTree::Leaf {
+                    rule: r2, slow: s2, ..
+                },
+            ) => r1 == r2 && s1 == s2,
+            (
+                ProvTree::Node {
+                    rule: r1,
+                    slow: s1,
+                    child: c1,
+                    ..
+                },
+                ProvTree::Node {
+                    rule: r2,
+                    slow: s2,
+                    child: c2,
+                    ..
+                },
+            ) => r1 == r2 && s1 == s2 && c1.equivalent(c2),
+            _ => false,
+        }
+    }
+
+    /// Every tuple in the tree: output, intermediates, slow tuples, event.
+    pub fn all_tuples(&self) -> Vec<&Tuple> {
+        let mut out = vec![self.output()];
+        let mut cur = self;
+        loop {
+            out.extend(cur.slow().iter());
+            match cur {
+                ProvTree::Leaf { event, .. } => {
+                    out.push(event);
+                    break;
+                }
+                ProvTree::Node { child, .. } => {
+                    out.push(child.output());
+                    cur = child;
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialize the tree as JSON for downstream tooling. Hand-rolled
+    /// (no serde): nested objects `{rule, output, slow, child|event}`
+    /// where tuples are `{rel, args}` with typed argument objects.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str, out: &mut String) {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        fn value(v: &dpc_common::Value, out: &mut String) {
+            match v {
+                dpc_common::Value::Addr(n) => {
+                    out.push_str(&format!("{{\"node\":{}}}", n.0));
+                }
+                dpc_common::Value::Int(i) => {
+                    out.push_str(&format!("{{\"int\":{i}}}"));
+                }
+                dpc_common::Value::Str(s) => {
+                    out.push_str("{\"str\":");
+                    esc(s, out);
+                    out.push('}');
+                }
+                dpc_common::Value::Bool(b) => {
+                    out.push_str(&format!("{{\"bool\":{b}}}"));
+                }
+            }
+        }
+        fn tuple(t: &Tuple, out: &mut String) {
+            out.push_str("{\"rel\":");
+            esc(t.rel(), out);
+            out.push_str(",\"args\":[");
+            for (i, a) in t.args().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                value(a, out);
+            }
+            out.push_str("]}");
+        }
+        fn walk(tr: &ProvTree, out: &mut String) {
+            out.push_str("{\"rule\":");
+            esc(tr.rule(), out);
+            out.push_str(",\"output\":");
+            tuple(tr.output(), out);
+            out.push_str(",\"slow\":[");
+            for (i, s) in tr.slow().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                tuple(s, out);
+            }
+            out.push(']');
+            match tr {
+                ProvTree::Leaf { event, .. } => {
+                    out.push_str(",\"event\":");
+                    tuple(event, out);
+                }
+                ProvTree::Node { child, .. } => {
+                    out.push_str(",\"child\":");
+                    walk(child, out);
+                }
+            }
+            out.push('}');
+        }
+        let mut out = String::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Render an ASCII sketch of the tree (root at top), in the style of
+    /// Figure 3.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(indent);
+        writeln!(out, "{pad}{}", self.output()).expect("write to String");
+        writeln!(out, "{pad}└─[{}]", self.rule()).expect("write to String");
+        for s in self.slow() {
+            writeln!(out, "{pad}    ├─ {s}").expect("write to String");
+        }
+        match self {
+            ProvTree::Leaf { event, .. } => {
+                writeln!(out, "{pad}    └─ {event}").expect("write to String");
+            }
+            ProvTree::Node { child, .. } => child.render_into(out, indent + 2),
+        }
+    }
+}
+
+impl fmt::Display for ProvTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_common::{NodeId, Value};
+
+    fn t(rel: &str, loc: u32, payload: &str) -> Tuple {
+        Tuple::new(rel, vec![Value::Addr(NodeId(loc)), Value::str(payload)])
+    }
+
+    /// Build the figure-3-shaped chain: r1@n0 -> r1@n1 -> r2@n2.
+    fn sample(payload: &str) -> ProvTree {
+        ProvTree::Node {
+            rule: "r2".into(),
+            output: t("recv", 2, payload),
+            slow: vec![],
+            child: Box::new(ProvTree::Node {
+                rule: "r1".into(),
+                output: t("packet", 2, payload),
+                slow: vec![t("route", 1, "to2")],
+                child: Box::new(ProvTree::Leaf {
+                    rule: "r1".into(),
+                    output: t("packet", 1, payload),
+                    event: t("packet", 0, payload),
+                    slow: vec![t("route", 0, "to1")],
+                }),
+            }),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let tr = sample("data");
+        assert_eq!(tr.output(), &t("recv", 2, "data"));
+        assert_eq!(tr.event(), &t("packet", 0, "data"));
+        assert_eq!(tr.rules(), vec!["r2", "r1", "r1"]);
+        assert_eq!(tr.depth(), 3);
+    }
+
+    #[test]
+    fn node_count_matches_figure3_shape() {
+        // 3 rule nodes + 3 derived-tuple nodes + 2 route leaves + 1 event
+        // = 9, matching the drawn tree in Figure 3 (which shows 3 ovals
+        // and 6 squares).
+        assert_eq!(sample("data").node_count(), 9);
+    }
+
+    #[test]
+    fn equivalence_ignores_event_and_outputs() {
+        // Same structure and slow tuples, different payloads — the
+        // "data" vs "url" example of Section 5.1.
+        let a = sample("data");
+        let b = sample("url");
+        assert!(a.equivalent(&b));
+        assert!(b.equivalent(&a));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn equivalence_requires_same_slow_tuples() {
+        let a = sample("data");
+        let mut b = sample("data");
+        if let ProvTree::Node { child, .. } = &mut b {
+            if let ProvTree::Node { slow, .. } = child.as_mut() {
+                slow[0] = t("route", 1, "ELSEWHERE");
+            }
+        }
+        assert!(!a.equivalent(&b));
+    }
+
+    #[test]
+    fn equivalence_requires_same_depth() {
+        let a = sample("data");
+        let ProvTree::Node { child, .. } = sample("data") else {
+            unreachable!()
+        };
+        assert!(!a.equivalent(&child));
+    }
+
+    #[test]
+    fn equivalence_requires_same_rules() {
+        let a = ProvTree::Leaf {
+            rule: "r1".into(),
+            output: t("o", 0, "x"),
+            event: t("e", 0, "x"),
+            slow: vec![],
+        };
+        let b = ProvTree::Leaf {
+            rule: "r9".into(),
+            output: t("o", 0, "x"),
+            event: t("e", 0, "x"),
+            slow: vec![],
+        };
+        assert!(!a.equivalent(&b));
+    }
+
+    #[test]
+    fn all_tuples_collects_everything() {
+        let tr = sample("data");
+        let all = tr.all_tuples();
+        // recv, route@1, packet@2, route@0, packet@1, packet@0 = 6.
+        assert_eq!(all.len(), 6);
+        assert!(all.contains(&&t("recv", 2, "data")));
+        assert!(all.contains(&&t("packet", 0, "data")));
+        assert!(all.contains(&&t("route", 0, "to1")));
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let j = sample("da\"ta\\x").to_json();
+        // Structure: nested child objects, escaped payload, typed args.
+        assert!(j.starts_with("{\"rule\":\"r2\""));
+        assert!(j.contains("\"child\":{\"rule\":\"r1\""));
+        assert!(j.contains("\"event\":{\"rel\":\"packet\""));
+        assert!(j.contains("da\\\"ta\\\\x"));
+        assert!(j.contains("{\"node\":2}"));
+        // Balanced braces and brackets.
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let tr = ProvTree::Leaf {
+            rule: "r1".into(),
+            output: t("o", 0, "line\nbreak\t"),
+            event: t("e", 0, "\u{1}"),
+            slow: vec![],
+        };
+        let j = tr.to_json();
+        assert!(j.contains("line\\nbreak\\t"));
+        assert!(j.contains("\\u0001"));
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn render_mentions_rules_and_tuples() {
+        let s = sample("data").render();
+        assert!(s.contains("[r2]"));
+        assert!(s.contains("[r1]"));
+        assert!(s.contains("recv"));
+        assert!(s.contains("route"));
+    }
+}

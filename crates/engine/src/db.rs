@@ -1,0 +1,222 @@
+//! Per-node relational databases.
+
+use std::collections::{HashMap, HashSet};
+
+use dpc_common::{RelName, StorageSize, Tuple, Vid};
+
+/// One relation's rows at one node.
+///
+/// Rows are kept both in insertion order (deterministic iteration, so joins
+/// and therefore rule firings are reproducible) and in a hash set (O(1)
+/// duplicate detection).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    rows: Vec<Tuple>,
+    index: HashSet<Tuple>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new() -> Table {
+        Table::default()
+    }
+
+    /// Insert a row; returns `true` if it was not already present.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        if self.index.insert(t.clone()) {
+            self.rows.push(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove a row; returns `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        if self.index.remove(t) {
+            self.rows.retain(|r| r != t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Does the table contain `t`?
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.index.contains(t)
+    }
+
+    /// Rows in insertion order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl StorageSize for Table {
+    fn storage_size(&self) -> usize {
+        4 + self
+            .rows
+            .iter()
+            .map(StorageSize::storage_size)
+            .sum::<usize>()
+    }
+}
+
+/// One node's local database: tables keyed by relation name, plus a
+/// content-addressed index (`vid -> tuple`) used at provenance-query time
+/// to resolve the leaf tuples referenced by `VIDS` columns.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<RelName, Table>,
+    by_vid: HashMap<Vid, Tuple>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Insert a tuple into its relation's table; returns `true` if new.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        let rel = t.rel_name().clone();
+        let fresh = self.tables.entry(rel).or_default().insert(t.clone());
+        if fresh {
+            self.by_vid.insert(t.vid(), t);
+        }
+        fresh
+    }
+
+    /// Remove a tuple. The vid index keeps the tuple resolvable afterwards:
+    /// provenance is monotone (Section 5.5 — deletion does not invalidate
+    /// recorded history), so queries may still reference it.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        match self.tables.get_mut(t.rel()) {
+            Some(table) => table.remove(t),
+            None => false,
+        }
+    }
+
+    /// The table for `rel`, if it has any rows.
+    pub fn table(&self, rel: &str) -> Option<&Table> {
+        self.tables.get(rel)
+    }
+
+    /// Rows of `rel` (empty slice if the relation is unknown).
+    pub fn rows(&self, rel: &str) -> &[Tuple] {
+        self.tables.get(rel).map_or(&[], |t| t.rows())
+    }
+
+    /// Resolve a tuple by content hash. Covers every tuple ever inserted,
+    /// including since-deleted ones.
+    pub fn by_vid(&self, vid: &Vid) -> Option<&Tuple> {
+        self.by_vid.get(vid)
+    }
+
+    /// Names of relations with at least one (current) row.
+    pub fn relations(&self) -> impl Iterator<Item = &RelName> {
+        self.tables.keys()
+    }
+
+    /// Total rows across all tables.
+    pub fn len(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_common::{NodeId, Value};
+
+    fn route(loc: u32, dst: u32, next: u32) -> Tuple {
+        Tuple::new(
+            "route",
+            vec![
+                Value::Addr(NodeId(loc)),
+                Value::Addr(NodeId(dst)),
+                Value::Addr(NodeId(next)),
+            ],
+        )
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut t = Table::new();
+        assert!(t.insert(route(1, 3, 2)));
+        assert!(!t.insert(route(1, 3, 2)));
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(&route(1, 3, 2)));
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut t = Table::new();
+        t.insert(route(1, 3, 2));
+        assert!(t.remove(&route(1, 3, 2)));
+        assert!(!t.remove(&route(1, 3, 2)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn rows_preserve_insertion_order() {
+        let mut t = Table::new();
+        t.insert(route(1, 3, 2));
+        t.insert(route(1, 2, 2));
+        t.insert(route(1, 4, 3));
+        let dsts: Vec<_> = t
+            .rows()
+            .iter()
+            .map(|r| r.args()[1].as_addr().unwrap().0)
+            .collect();
+        assert_eq!(dsts, vec![3, 2, 4]);
+    }
+
+    #[test]
+    fn database_routes_by_relation() {
+        let mut db = Database::new();
+        db.insert(route(1, 3, 2));
+        db.insert(Tuple::new("link", vec![Value::Addr(NodeId(1))]));
+        assert_eq!(db.rows("route").len(), 1);
+        assert_eq!(db.rows("link").len(), 1);
+        assert_eq!(db.rows("nosuch").len(), 0);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.relations().count(), 2);
+    }
+
+    #[test]
+    fn vid_index_survives_deletion() {
+        let mut db = Database::new();
+        let r = route(1, 3, 2);
+        let vid = r.vid();
+        db.insert(r.clone());
+        db.remove(&r);
+        assert_eq!(db.rows("route").len(), 0);
+        assert_eq!(db.by_vid(&vid), Some(&r));
+    }
+
+    #[test]
+    fn table_storage_size() {
+        let mut t = Table::new();
+        assert_eq!(t.storage_size(), 4);
+        let r = route(1, 3, 2);
+        let row = r.storage_size();
+        t.insert(r);
+        assert_eq!(t.storage_size(), 4 + row);
+    }
+}

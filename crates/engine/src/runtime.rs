@@ -1,0 +1,763 @@
+//! The pipelined semi-naïve runtime.
+//!
+//! A [`Runtime`] deploys one DELP on every node of a simulated network and
+//! processes injected input events: each event joins the local
+//! slow-changing tables, fires the matching rules, and the derived head
+//! tuples ship to the node named by their location specifier — continuing
+//! until the output relation derives (Section 3.1). Provenance maintenance
+//! hooks fire at each stage through the [`ProvRecorder`].
+//!
+//! Slow-changing tables can be updated while the system runs
+//! ([`Runtime::update_slow_at`]): per Section 5.5, an insertion broadcasts a
+//! `sig` control message that makes every node clear its equivalence-keys
+//! hash table, so subsequent executions re-materialize provenance.
+
+use std::collections::HashMap;
+
+use dpc_common::{Error, EvId, NodeId, Result, StorageSize, Tuple, Vid};
+use dpc_ndlog::Delp;
+use dpc_netsim::{Network, Sim, SimTime, TrafficStats};
+
+use crate::db::Database;
+use crate::eval::{eval_rule, FnRegistry};
+use crate::recorder::{ProvMeta, ProvRecorder, Stage};
+
+/// Messages exchanged by the runtime over the simulated network.
+#[derive(Debug, Clone)]
+enum Msg {
+    /// A tuple delivery (input event, intermediate event or output tuple).
+    Event { tuple: Tuple, meta: ProvMeta },
+    /// Apply an insertion into a slow-changing table at the destination,
+    /// then broadcast `sig`.
+    SlowInsert { tuple: Tuple },
+    /// Apply a deletion from a slow-changing table.
+    SlowDelete { tuple: Tuple },
+    /// The Section 5.5 control broadcast.
+    Sig,
+}
+
+/// A completed execution's output tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputRecord {
+    /// When the output derived.
+    pub at: SimTime,
+    /// Node where the output tuple lives.
+    pub node: NodeId,
+    /// The output tuple.
+    pub tuple: Tuple,
+    /// The input event's id.
+    pub evid: EvId,
+    /// The execution id assigned at injection.
+    pub exec_id: u64,
+}
+
+/// Per-node execution counters, for load-distribution analysis and
+/// debugging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Event tuples handled (input or intermediate arrivals).
+    pub events_handled: u64,
+    /// Rules fired here.
+    pub rules_fired: u64,
+    /// Output tuples derived here.
+    pub outputs: u64,
+    /// `sig` broadcasts received.
+    pub sigs: u64,
+}
+
+/// Tunables of the runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Local processing delay per rule firing.
+    pub rule_proc_delay: SimTime,
+    /// Wire size of a `sig` broadcast message.
+    pub sig_bytes: usize,
+    /// Extra payload bytes charged per event message beyond the tuple's
+    /// serialized size (models framing/headers).
+    pub header_bytes: usize,
+    /// Materialize event tuples (by vid at visited nodes, by evid at the
+    /// input node) so provenance queries can resolve their contents.
+    /// Disable for storage/bandwidth measurement runs at very large scale
+    /// — queries then cannot resolve leaf contents.
+    pub retain_tuples: bool,
+    /// Keep an [`OutputRecord`] per derived output. Disable for very
+    /// large measurement runs; [`Runtime::outputs_count`] still counts.
+    pub record_outputs: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            rule_proc_delay: SimTime::from_micros(10),
+            sig_bytes: 24,
+            header_bytes: 28,
+            retain_tuples: true,
+            record_outputs: true,
+        }
+    }
+}
+
+/// The engine runtime: one DELP deployed on every node of a network.
+pub struct Runtime<R> {
+    delp: Delp,
+    sim: Sim<Msg>,
+    dbs: Vec<Database>,
+    /// Input events materialized at their injection node, keyed by `evid`
+    /// (the paper: "the tagged evid is used to retrieve the event tuple
+    /// materialized at n").
+    events: Vec<HashMap<EvId, Tuple>>,
+    fns: FnRegistry,
+    recorder: R,
+    outputs: Vec<OutputRecord>,
+    next_exec_id: u64,
+    config: RuntimeConfig,
+    /// Relations of interest beyond the output relations (Section 3.2):
+    /// intermediate head relations whose tuples also get concrete
+    /// provenance associations.
+    interest: std::collections::BTreeSet<String>,
+    metrics: Vec<NodeMetrics>,
+    outputs_count: u64,
+    /// Errors from rule evaluation are fatal to the run; kept for context.
+    rules_fired: u64,
+}
+
+impl<R: ProvRecorder> Runtime<R> {
+    /// Deploy `delp` on `net` with the given provenance recorder.
+    pub fn new(delp: Delp, net: Network, recorder: R) -> Runtime<R> {
+        let n = net.node_count();
+        Runtime {
+            delp,
+            sim: Sim::new(net),
+            dbs: (0..n).map(|_| Database::new()).collect(),
+            events: (0..n).map(|_| HashMap::new()).collect(),
+            fns: FnRegistry::new(),
+            recorder,
+            outputs: Vec::new(),
+            next_exec_id: 0,
+            config: RuntimeConfig::default(),
+            interest: std::collections::BTreeSet::new(),
+            metrics: vec![NodeMetrics::default(); n],
+            outputs_count: 0,
+            rules_fired: 0,
+        }
+    }
+
+    /// Execution counters for one node.
+    pub fn node_metrics(&self, node: NodeId) -> NodeMetrics {
+        self.metrics[node.index()]
+    }
+
+    /// Declare additional *relations of interest* (Section 3.2): head
+    /// relations whose tuples — even intermediate ones — get concrete
+    /// provenance associations (a stage 3 call per derived tuple), so
+    /// administrators can query them directly instead of replaying.
+    /// Output relations are always of interest and need not be listed.
+    pub fn set_interest<I, S>(&mut self, rels: I) -> Result<()>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let heads: std::collections::BTreeSet<&str> = self
+            .delp
+            .rules()
+            .iter()
+            .map(|r| r.head.rel.as_str())
+            .collect();
+        let mut set = std::collections::BTreeSet::new();
+        for r in rels {
+            let r: String = r.into();
+            if !heads.contains(r.as_str()) {
+                return Err(Error::Schema(format!(
+                    "`{r}` is not a derived (head) relation of this program"
+                )));
+            }
+            set.insert(r);
+        }
+        self.interest = set;
+        Ok(())
+    }
+
+    /// Replace the runtime configuration.
+    pub fn set_config(&mut self, config: RuntimeConfig) {
+        self.config = config;
+    }
+
+    /// Register a user-defined function.
+    pub fn register_fn(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[dpc_common::Value]) -> Result<dpc_common::Value> + Send + Sync + 'static,
+    ) {
+        self.fns.register(name, f);
+    }
+
+    /// The function registry (shared by all nodes).
+    pub fn fns(&self) -> &FnRegistry {
+        &self.fns
+    }
+
+    /// The deployed program.
+    pub fn delp(&self) -> &Delp {
+        &self.delp
+    }
+
+    /// The network.
+    pub fn net(&self) -> &Network {
+        self.sim.net()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &TrafficStats {
+        self.sim.stats()
+    }
+
+    /// Clear traffic statistics (e.g. after topology setup).
+    pub fn clear_stats(&mut self) {
+        self.sim.stats_mut().clear();
+    }
+
+    /// The provenance recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Mutable access to the recorder (e.g. to extract tables after a run).
+    pub fn recorder_mut(&mut self) -> &mut R {
+        &mut self.recorder
+    }
+
+    /// One node's database.
+    pub fn db(&self, node: NodeId) -> &Database {
+        &self.dbs[node.index()]
+    }
+
+    /// Outputs derived so far, in derivation order (empty when
+    /// `record_outputs` is disabled).
+    pub fn outputs(&self) -> &[OutputRecord] {
+        &self.outputs
+    }
+
+    /// Total outputs derived, counted even when `record_outputs` is off.
+    pub fn outputs_count(&self) -> u64 {
+        self.outputs_count
+    }
+
+    /// Total rule firings so far.
+    pub fn rules_fired(&self) -> u64 {
+        self.rules_fired
+    }
+
+    /// Resolve an input event by `evid` at the node where it entered.
+    pub fn event_by_evid(&self, node: NodeId, evid: &EvId) -> Option<&Tuple> {
+        self.events.get(node.index())?.get(evid)
+    }
+
+    /// Resolve any tuple (base or input event) by content hash at `node`.
+    pub fn tuple_by_vid(&self, node: NodeId, vid: &Vid) -> Option<&Tuple> {
+        self.dbs.get(node.index())?.by_vid(vid)
+    }
+
+    /// Inject deterministic message loss on the directed link
+    /// `src -> dst`: every `every`-th message on it is dropped. Failure
+    /// injection for tests; provenance of delivered tuples is unaffected
+    /// (dropped executions simply never derive their outputs).
+    pub fn inject_loss(&mut self, src: NodeId, dst: NodeId, every: u64) {
+        self.sim.inject_loss(src, dst, every);
+    }
+
+    /// Messages dropped by fault injection so far.
+    pub fn dropped_messages(&self) -> u64 {
+        self.sim.dropped()
+    }
+
+    /// Install a base tuple during setup, without network traffic or `sig`
+    /// broadcast. The tuple's location specifier picks the node.
+    pub fn install(&mut self, tuple: Tuple) -> Result<()> {
+        let node = tuple.loc()?;
+        self.check_node(node)?;
+        self.recorder.on_base_install(node, &tuple);
+        self.dbs[node.index()].insert(tuple);
+        Ok(())
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<()> {
+        if node.index() >= self.dbs.len() {
+            return Err(Error::Network(format!("unknown node {node}")));
+        }
+        Ok(())
+    }
+
+    /// Inject an input event at simulated time `at` (clamped to now). The
+    /// event enters at its own location specifier. Returns the execution
+    /// id.
+    pub fn inject_at(&mut self, tuple: Tuple, at: SimTime) -> Result<u64> {
+        if tuple.rel() != self.delp.input_event() {
+            return Err(Error::Schema(format!(
+                "expected input event relation `{}`, got `{}`",
+                self.delp.input_event(),
+                tuple.rel()
+            )));
+        }
+        let node = tuple.loc()?;
+        self.check_node(node)?;
+        let exec_id = self.next_exec_id;
+        self.next_exec_id += 1;
+        let meta = ProvMeta::input(exec_id, tuple.evid());
+        self.sim.schedule_at(node, at, Msg::Event { tuple, meta });
+        Ok(exec_id)
+    }
+
+    /// Inject an input event now.
+    pub fn inject(&mut self, tuple: Tuple) -> Result<u64> {
+        self.inject_at(tuple, self.sim.now())
+    }
+
+    /// Schedule an insertion into a slow-changing table at `at`. Applying
+    /// it broadcasts `sig` to every node (Section 5.5).
+    pub fn update_slow_at(&mut self, tuple: Tuple, at: SimTime) -> Result<()> {
+        let node = tuple.loc()?;
+        self.check_node(node)?;
+        if !self.delp.is_slow(tuple.rel()) {
+            return Err(Error::Schema(format!(
+                "`{}` is not a slow-changing relation",
+                tuple.rel()
+            )));
+        }
+        self.sim.schedule_at(node, at, Msg::SlowInsert { tuple });
+        Ok(())
+    }
+
+    /// Schedule a deletion from a slow-changing table at `at`. Deletion
+    /// does not affect stored provenance (provenance is monotone) and does
+    /// not broadcast.
+    pub fn delete_slow_at(&mut self, tuple: Tuple, at: SimTime) -> Result<()> {
+        let node = tuple.loc()?;
+        self.check_node(node)?;
+        self.sim.schedule_at(node, at, Msg::SlowDelete { tuple });
+        Ok(())
+    }
+
+    /// Run until no work remains.
+    pub fn run(&mut self) -> Result<()> {
+        while let Some(d) = self.sim.pop() {
+            self.handle(d.at, d.dst, d.msg)?;
+        }
+        Ok(())
+    }
+
+    /// Run until simulated `deadline` (events after it stay queued).
+    pub fn run_until(&mut self, deadline: SimTime) -> Result<()> {
+        while let Some(d) = self.sim.pop_until(deadline) {
+            self.handle(d.at, d.dst, d.msg)?;
+        }
+        Ok(())
+    }
+
+    fn handle(&mut self, at: SimTime, node: NodeId, msg: Msg) -> Result<()> {
+        match msg {
+            Msg::Event { tuple, meta } => self.handle_event(at, node, tuple, meta),
+            Msg::SlowInsert { tuple } => {
+                self.recorder.on_base_install(node, &tuple);
+                self.dbs[node.index()].insert(tuple);
+                // Broadcast sig to every node, including self.
+                for m in self.sim.net().nodes().collect::<Vec<_>>() {
+                    if m == node {
+                        self.sim.schedule_local(node, SimTime::ZERO, Msg::Sig);
+                    } else {
+                        self.sim
+                            .send_routed(node, m, self.config.sig_bytes, Msg::Sig)?;
+                    }
+                }
+                Ok(())
+            }
+            Msg::SlowDelete { tuple } => {
+                self.dbs[node.index()].remove(&tuple);
+                Ok(())
+            }
+            Msg::Sig => {
+                self.metrics[node.index()].sigs += 1;
+                self.recorder.on_sig(node);
+                Ok(())
+            }
+        }
+    }
+
+    fn handle_event(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        tuple: Tuple,
+        mut meta: ProvMeta,
+    ) -> Result<()> {
+        self.metrics[node.index()].events_handled += 1;
+        // Output tuples complete an execution (stage 3).
+        if self.delp.is_output(tuple.rel()) {
+            self.metrics[node.index()].outputs += 1;
+            self.outputs_count += 1;
+            self.recorder.on_output(node, &tuple, &meta);
+            if self.config.retain_tuples {
+                self.dbs[node.index()].insert(tuple.clone());
+            }
+            if self.config.record_outputs {
+                self.outputs.push(OutputRecord {
+                    at,
+                    node,
+                    tuple,
+                    evid: meta.evid.expect("every execution carries its evid"),
+                    exec_id: meta.exec_id,
+                });
+            }
+            return Ok(());
+        }
+
+        // Stage 1 for fresh inputs: equivalence-keys checking and event
+        // materialization.
+        if meta.stage == Stage::Input {
+            self.recorder.on_input(node, &tuple, &mut meta);
+            meta.stage = Stage::Derived;
+            if self.config.retain_tuples {
+                self.events[node.index()].insert(tuple.evid(), tuple.clone());
+            }
+        }
+        // Every event tuple (input or intermediate) is resolvable by vid at
+        // the node it visited — ExSPAN's query fetches intermediate tuple
+        // contents, and input events are the leaf tuples of every scheme.
+        if self.config.retain_tuples {
+            self.dbs[node.index()].insert(tuple.clone());
+        }
+
+        // Stage 2: fire every rule whose event relation matches.
+        let rules: Vec<_> = self.delp.rules_for_event(tuple.rel()).cloned().collect();
+        for rule in &rules {
+            let firings = eval_rule(rule, &tuple, &self.dbs[node.index()], &self.fns)?;
+            for firing in firings {
+                self.rules_fired += 1;
+                self.metrics[node.index()].rules_fired += 1;
+                let out_meta =
+                    self.recorder
+                        .on_rule(node, rule, &tuple, &firing.slow, &firing.head, &meta);
+                let dst = firing.head.loc()?;
+                self.check_node(dst)?;
+                // Relations of interest beyond outputs: associate the
+                // derived tuple with its (partial) provenance chain now,
+                // exactly like stage 3 does for outputs.
+                if self.interest.contains(firing.head.rel())
+                    && !self.delp.is_output(firing.head.rel())
+                {
+                    self.recorder.on_output(dst, &firing.head, &out_meta);
+                }
+                let bytes =
+                    firing.head.storage_size() + out_meta.wire_bytes + self.config.header_bytes;
+                let msg = Msg::Event {
+                    tuple: firing.head,
+                    meta: out_meta,
+                };
+                if dst == node {
+                    self.sim
+                        .schedule_local(node, self.config.rule_proc_delay, msg);
+                } else {
+                    self.sim.send_routed(node, dst, bytes, msg)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::NoopRecorder;
+    use dpc_common::Value;
+    use dpc_ndlog::programs;
+    use dpc_netsim::{topo, Link};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn packet(loc: u32, src: u32, dst: u32, payload: &str) -> Tuple {
+        Tuple::new(
+            "packet",
+            vec![
+                Value::Addr(n(loc)),
+                Value::Addr(n(src)),
+                Value::Addr(n(dst)),
+                Value::str(payload),
+            ],
+        )
+    }
+
+    fn route(loc: u32, dst: u32, next: u32) -> Tuple {
+        Tuple::new(
+            "route",
+            vec![
+                Value::Addr(n(loc)),
+                Value::Addr(n(dst)),
+                Value::Addr(n(next)),
+            ],
+        )
+    }
+
+    /// The paper's Figure 2 deployment: 3 nodes in a line, routes at n0
+    /// and n1 towards n2 (paper numbering n1,n2,n3 maps to n0,n1,n2).
+    fn figure2_runtime() -> Runtime<NoopRecorder> {
+        let net = topo::line(3, Link::STUB_STUB);
+        let mut rt = Runtime::new(programs::packet_forwarding(), net, NoopRecorder);
+        rt.install(route(0, 2, 1)).unwrap();
+        rt.install(route(1, 2, 2)).unwrap();
+        rt
+    }
+
+    #[test]
+    fn packet_traverses_and_derives_recv() {
+        let mut rt = figure2_runtime();
+        rt.inject(packet(0, 0, 2, "data")).unwrap();
+        rt.run().unwrap();
+        assert_eq!(rt.outputs().len(), 1);
+        let out = &rt.outputs()[0];
+        assert_eq!(out.node, n(2));
+        assert_eq!(
+            out.tuple,
+            Tuple::new(
+                "recv",
+                vec![
+                    Value::Addr(n(2)),
+                    Value::Addr(n(0)),
+                    Value::Addr(n(2)),
+                    Value::str("data"),
+                ],
+            )
+        );
+        // r1 fired at n0 and n1, r2 at n2.
+        assert_eq!(rt.rules_fired(), 3);
+    }
+
+    #[test]
+    fn event_is_materialized_at_input_node() {
+        let mut rt = figure2_runtime();
+        let pkt = packet(0, 0, 2, "data");
+        let evid = pkt.evid();
+        rt.inject(pkt.clone()).unwrap();
+        rt.run().unwrap();
+        assert_eq!(rt.event_by_evid(n(0), &evid), Some(&pkt));
+        assert_eq!(rt.event_by_evid(n(1), &evid), None);
+        assert_eq!(rt.tuple_by_vid(n(0), &pkt.vid()), Some(&pkt));
+    }
+
+    #[test]
+    fn packet_without_route_goes_nowhere() {
+        let net = topo::line(3, Link::STUB_STUB);
+        let mut rt = Runtime::new(programs::packet_forwarding(), net, NoopRecorder);
+        rt.inject(packet(0, 0, 2, "data")).unwrap();
+        rt.run().unwrap();
+        assert!(rt.outputs().is_empty());
+        assert_eq!(rt.rules_fired(), 0);
+    }
+
+    #[test]
+    fn injection_validates_relation_and_node() {
+        let mut rt = figure2_runtime();
+        let wrong = Tuple::new("recv", vec![Value::Addr(n(0))]);
+        assert!(rt.inject(wrong).is_err());
+        let bad_node = packet(9, 0, 2, "x");
+        assert!(rt.inject(bad_node).is_err());
+    }
+
+    #[test]
+    fn traffic_accounts_tuple_and_header() {
+        let mut rt = figure2_runtime();
+        rt.inject(packet(0, 0, 2, "data")).unwrap();
+        rt.run().unwrap();
+        // Two network transfers (n0->n1, n1->n2); each carries the packet
+        // tuple plus header plus 1 meta byte (Noop leaves wire_bytes = 1).
+        let pkt_bytes = packet(1, 0, 2, "data").storage_size();
+        let expected = 2 * (pkt_bytes + 1 + RuntimeConfig::default().header_bytes);
+        assert_eq!(rt.stats().total_bytes(), expected as u64);
+    }
+
+    #[test]
+    fn multiple_packets_all_arrive() {
+        let mut rt = figure2_runtime();
+        for i in 0..10 {
+            rt.inject_at(
+                packet(0, 0, 2, &format!("p{i}")),
+                SimTime::from_millis(i * 10),
+            )
+            .unwrap();
+        }
+        rt.run().unwrap();
+        assert_eq!(rt.outputs().len(), 10);
+        // Outputs arrive in injection order (FIFO links, same path).
+        let payloads: Vec<_> = rt
+            .outputs()
+            .iter()
+            .map(|o| o.tuple.args()[3].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            payloads,
+            (0..10).map(|i| format!("p{i}")).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut rt = figure2_runtime();
+        rt.inject_at(packet(0, 0, 2, "late"), SimTime::from_secs(10))
+            .unwrap();
+        rt.run_until(SimTime::from_secs(1)).unwrap();
+        assert!(rt.outputs().is_empty());
+        assert_eq!(rt.now(), SimTime::from_secs(1));
+        rt.run().unwrap();
+        assert_eq!(rt.outputs().len(), 1);
+    }
+
+    #[test]
+    fn slow_update_reroutes_subsequent_packets() {
+        // Figure 7: a new node is used as intermediate hop after a route
+        // change. Topology: 0-1-2 line plus 0-3-2 alternative.
+        let mut net = topo::line(3, Link::STUB_STUB);
+        let n3 = net.add_node();
+        net.add_link(n(0), n3, Link::STUB_STUB).unwrap();
+        net.add_link(n3, n(2), Link::STUB_STUB).unwrap();
+        let mut rt = Runtime::new(programs::packet_forwarding(), net, NoopRecorder);
+        rt.install(route(0, 2, 1)).unwrap();
+        rt.install(route(1, 2, 2)).unwrap();
+        rt.install(route(3, 2, 2)).unwrap();
+
+        rt.inject_at(packet(0, 0, 2, "before"), SimTime::ZERO)
+            .unwrap();
+        // At t=1s: delete route via n1, insert route via n3.
+        rt.delete_slow_at(route(0, 2, 1), SimTime::from_secs(1))
+            .unwrap();
+        rt.update_slow_at(route(0, 2, 3), SimTime::from_secs(1))
+            .unwrap();
+        rt.inject_at(packet(0, 0, 2, "after"), SimTime::from_secs(2))
+            .unwrap();
+        rt.run().unwrap();
+
+        assert_eq!(rt.outputs().len(), 2);
+        // Both arrive at n2 regardless of path.
+        assert!(rt.outputs().iter().all(|o| o.node == n(2)));
+        // The new path must have carried the second packet via n3.
+        assert!(rt.stats().link_bytes(n(0), n3) > 0);
+    }
+
+    #[test]
+    fn node_metrics_track_execution() {
+        let mut rt = figure2_runtime();
+        rt.inject(packet(0, 0, 2, "data")).unwrap();
+        rt.inject(packet(0, 0, 2, "url")).unwrap();
+        rt.run().unwrap();
+        // n0: 2 input events handled, 2 r1 firings.
+        let m0 = rt.node_metrics(n(0));
+        assert_eq!(m0.events_handled, 2);
+        assert_eq!(m0.rules_fired, 2);
+        assert_eq!(m0.outputs, 0);
+        // n2: 2 packet arrivals + 2 recv deliveries, 2 r2 firings, 2 outs.
+        let m2 = rt.node_metrics(n(2));
+        assert_eq!(m2.events_handled, 4);
+        assert_eq!(m2.rules_fired, 2);
+        assert_eq!(m2.outputs, 2);
+        assert_eq!(m2.sigs, 0);
+        // A slow update delivers a sig everywhere.
+        rt.update_slow_at(route(1, 0, 0), rt.now()).unwrap();
+        rt.run().unwrap();
+        for i in 0..3 {
+            assert_eq!(rt.node_metrics(n(i)).sigs, 1, "node n{i}");
+        }
+    }
+
+    #[test]
+    fn lossy_link_drops_executions_cleanly() {
+        let mut rt = figure2_runtime();
+        // Drop every 2nd message on the n1 -> n2 hop.
+        rt.inject_loss(n(1), n(2), 2);
+        for i in 0..6 {
+            rt.inject(packet(0, 0, 2, &format!("p{i}"))).unwrap();
+        }
+        rt.run().unwrap();
+        // Half the packets die on the lossy hop; the rest arrive intact.
+        assert_eq!(rt.outputs().len(), 3);
+        assert_eq!(rt.dropped_messages(), 3);
+        let payloads: Vec<_> = rt
+            .outputs()
+            .iter()
+            .map(|o| o.tuple.args()[3].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(payloads, vec!["p0", "p2", "p4"]);
+    }
+
+    #[test]
+    fn update_slow_rejects_non_slow_relations() {
+        let mut rt = figure2_runtime();
+        assert!(rt
+            .update_slow_at(packet(0, 0, 2, "x"), SimTime::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn dns_resolution_end_to_end() {
+        // Host n0, root n1, "com" server n2, "hello.com" server n3.
+        let net = topo::line(4, Link::STUB_STUB);
+        let mut rt = Runtime::new(programs::dns_resolution(), net, NoopRecorder);
+        rt.register_fn("f_isSubDomain", |args| {
+            let (Some(dm), Some(url)) = (args[0].as_str(), args[1].as_str()) else {
+                return Err(Error::Eval("f_isSubDomain expects strings".into()));
+            };
+            Ok(Value::Bool(
+                url == dm || url.ends_with(&format!(".{dm}")) || url.ends_with(dm),
+            ))
+        });
+        rt.install(Tuple::new(
+            "rootServer",
+            vec![Value::Addr(n(0)), Value::Addr(n(1))],
+        ))
+        .unwrap();
+        rt.install(Tuple::new(
+            "nameServer",
+            vec![Value::Addr(n(1)), Value::str("com"), Value::Addr(n(2))],
+        ))
+        .unwrap();
+        rt.install(Tuple::new(
+            "nameServer",
+            vec![
+                Value::Addr(n(2)),
+                Value::str("hello.com"),
+                Value::Addr(n(3)),
+            ],
+        ))
+        .unwrap();
+        rt.install(Tuple::new(
+            "addressRecord",
+            vec![
+                Value::Addr(n(3)),
+                Value::str("www.hello.com"),
+                Value::str("10.0.0.7"),
+            ],
+        ))
+        .unwrap();
+
+        rt.inject(Tuple::new(
+            "url",
+            vec![
+                Value::Addr(n(0)),
+                Value::str("www.hello.com"),
+                Value::Int(1),
+            ],
+        ))
+        .unwrap();
+        rt.run().unwrap();
+
+        assert_eq!(rt.outputs().len(), 1);
+        let reply = &rt.outputs()[0].tuple;
+        assert_eq!(reply.rel(), "reply");
+        assert_eq!(reply.loc().unwrap(), n(0));
+        assert_eq!(reply.args()[2], Value::str("10.0.0.7"));
+    }
+}

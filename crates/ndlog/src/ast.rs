@@ -1,0 +1,402 @@
+//! Abstract syntax for NDlog programs.
+//!
+//! By NDlog convention, identifiers beginning with an uppercase letter are
+//! variables and identifiers beginning lowercase are relation / function
+//! names; user-defined functions carry an `f_` prefix (e.g.
+//! `f_isSubDomain`). The first argument of every atom is the location
+//! specifier, written `@L` in surface syntax.
+
+use std::fmt;
+
+use dpc_common::Value;
+
+/// A term inside a relational atom: either a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A variable, e.g. `L`, `DT`.
+    Var(String),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable name, if this term is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => f.write_str(v),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A relational atom, e.g. `packet(@L, S, D, DT)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Relation name.
+    pub rel: String,
+    /// Arguments; index 0 is the location specifier.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Positions (attribute indices) at which `var` occurs in this atom.
+    pub fn positions_of(&self, var: &str) -> impl Iterator<Item = usize> + '_ {
+        let var = var.to_string();
+        self.args
+            .iter()
+            .enumerate()
+            .filter(move |(_, t)| t.as_var() == Some(var.as_str()))
+            .map(|(i, _)| i)
+    }
+
+    /// All distinct variable names in the atom, in first-occurrence order.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for t in &self.args {
+            if let Term::Var(v) = t {
+                if !seen.contains(&v.as_str()) {
+                    seen.push(v.as_str());
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if i == 0 {
+                write!(f, "@{a}")?;
+            } else {
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Binary arithmetic operators usable in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        })
+    }
+}
+
+/// Comparison operators usable in arithmetic atoms (constraints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// An expression: the operand language of constraints and assignments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A variable reference.
+    Var(String),
+    /// A literal constant.
+    Const(Value),
+    /// A binary arithmetic operation.
+    BinOp(BinOp, Box<Expr>, Box<Expr>),
+    /// A user-defined function call, e.g. `f_isSubDomain(DM, URL)`.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// All distinct variable names referenced by the expression.
+    pub fn vars(&self) -> Vec<&str> {
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a str>) {
+            match e {
+                Expr::Var(v) => {
+                    if !out.contains(&v.as_str()) {
+                        out.push(v);
+                    }
+                }
+                Expr::Const(_) => {}
+                Expr::BinOp(_, l, r) => {
+                    walk(l, out);
+                    walk(r, out);
+                }
+                Expr::Call(_, args) => {
+                    for a in args {
+                        walk(a, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => f.write_str(v),
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::BinOp(op, l, r) => write!(f, "({l} {op} {r})"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// One item in a rule body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BodyItem {
+    /// A relational atom. The *first* relational atom in a rule body is the
+    /// rule's designated event; the rest are slow-changing condition atoms.
+    Atom(Atom),
+    /// An arithmetic atom (constraint), e.g. `D == L` or
+    /// `f_isSubDomain(DM, URL) == true`.
+    Constraint {
+        /// Left operand.
+        left: Expr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Expr,
+    },
+    /// An assignment, e.g. `N := L + 2`.
+    Assign {
+        /// Variable bound by the assignment.
+        var: String,
+        /// Value expression.
+        expr: Expr,
+    },
+}
+
+impl fmt::Display for BodyItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyItem::Atom(a) => write!(f, "{a}"),
+            BodyItem::Constraint { left, op, right } => write!(f, "{left} {op} {right}"),
+            BodyItem::Assign { var, expr } => write!(f, "{var} := {expr}"),
+        }
+    }
+}
+
+/// A rule: `label head :- body1, body2, ..., bodyN.`
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rule {
+    /// The rule label, e.g. `r1`. Labels identify rules in provenance
+    /// (`ruleExec.R` column) and must be unique within a program.
+    pub label: String,
+    /// The head atom.
+    pub head: Atom,
+    /// Body items, in source order.
+    pub body: Vec<BodyItem>,
+}
+
+impl Rule {
+    /// The designated event atom: the first relational atom in the body.
+    ///
+    /// DELP validation guarantees its presence; on raw programs it may be
+    /// absent.
+    pub fn event(&self) -> Option<&Atom> {
+        self.body.iter().find_map(|b| match b {
+            BodyItem::Atom(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Non-event relational atoms (the slow-changing condition atoms).
+    pub fn condition_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body
+            .iter()
+            .filter_map(|b| match b {
+                BodyItem::Atom(a) => Some(a),
+                _ => None,
+            })
+            .skip(1)
+    }
+
+    /// Constraints (arithmetic atoms) in the body.
+    pub fn constraints(&self) -> impl Iterator<Item = (&Expr, CmpOp, &Expr)> {
+        self.body.iter().filter_map(|b| match b {
+            BodyItem::Constraint { left, op, right } => Some((left, *op, right)),
+            _ => None,
+        })
+    }
+
+    /// Assignments in the body.
+    pub fn assignments(&self) -> impl Iterator<Item = (&str, &Expr)> {
+        self.body.iter().filter_map(|b| match b {
+            BodyItem::Assign { var, expr } => Some((var.as_str(), expr)),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} :- ", self.label, self.head)?;
+        for (i, b) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A parsed NDlog program: an ordered list of rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Rules in source order; DELP execution follows this order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Find a rule by label.
+    pub fn rule(&self, label: &str) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.label == label)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(rel: &str, vars: &[&str]) -> Atom {
+        Atom {
+            rel: rel.into(),
+            args: vars.iter().map(|v| Term::Var(v.to_string())).collect(),
+        }
+    }
+
+    #[test]
+    fn event_is_first_relational_atom() {
+        let r = Rule {
+            label: "r2".into(),
+            head: atom("recv", &["L", "S", "D", "DT"]),
+            body: vec![
+                BodyItem::Constraint {
+                    left: Expr::Var("D".into()),
+                    op: CmpOp::Eq,
+                    right: Expr::Var("L".into()),
+                },
+                BodyItem::Atom(atom("packet", &["L", "S", "D", "DT"])),
+                BodyItem::Atom(atom("route", &["L", "D", "N"])),
+            ],
+        };
+        assert_eq!(r.event().unwrap().rel, "packet");
+        let conds: Vec<_> = r.condition_atoms().map(|a| a.rel.clone()).collect();
+        assert_eq!(conds, vec!["route"]);
+    }
+
+    #[test]
+    fn atom_positions_and_vars() {
+        let a = atom("route", &["L", "D", "L"]);
+        let pos: Vec<_> = a.positions_of("L").collect();
+        assert_eq!(pos, vec![0, 2]);
+        assert_eq!(a.vars(), vec!["L", "D"]);
+    }
+
+    #[test]
+    fn expr_vars_dedup() {
+        let e = Expr::BinOp(
+            BinOp::Add,
+            Box::new(Expr::Var("X".into())),
+            Box::new(Expr::Call(
+                "f_g".into(),
+                vec![Expr::Var("X".into()), Expr::Var("Y".into())],
+            )),
+        );
+        assert_eq!(e.vars(), vec!["X", "Y"]);
+    }
+
+    #[test]
+    fn display_rule_round_trip_shape() {
+        let r = Rule {
+            label: "r1".into(),
+            head: atom("packet", &["N", "S", "D", "DT"]),
+            body: vec![
+                BodyItem::Atom(atom("packet", &["L", "S", "D", "DT"])),
+                BodyItem::Atom(atom("route", &["L", "D", "N"])),
+            ],
+        };
+        assert_eq!(
+            r.to_string(),
+            "r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N)."
+        );
+    }
+}

@@ -1,0 +1,403 @@
+//! DELP validation — Definition 1 of the paper.
+//!
+//! A *distributed event-driven linear program* is an NDlog program in which
+//! (1) every rule is event-driven, (2) consecutive rules are dependent (the
+//! head relation of `r_i` is the event relation of `r_{i+1}`), and (3) head
+//! relations only ever appear as event relations in rule bodies.
+//!
+//! We follow the paper's convention that the event atom of a rule is the
+//! *first* relational atom in its body (`[head] :- [event], [conditions]`);
+//! every other relational atom is a slow-changing condition atom.
+
+use std::collections::BTreeSet;
+
+use dpc_common::{Error, Result};
+
+use crate::ast::{Program, Rule};
+
+/// A validated DELP with its relation classification.
+#[derive(Debug, Clone)]
+pub struct Delp {
+    program: Program,
+    input_event: String,
+    slow_rels: BTreeSet<String>,
+    output_rels: BTreeSet<String>,
+    event_rels: BTreeSet<String>,
+}
+
+impl Delp {
+    /// Validate `program` against Definition 1 and classify its relations.
+    pub fn new(program: Program) -> Result<Delp> {
+        Self::build(program, true)
+    }
+
+    /// Validate under a relaxed rule set for *derived* programs (e.g. the
+    /// output of the provenance rewrite, `crate::rewrite`): every rule
+    /// must still lead with its event atom, bind its head variables and
+    /// use relations with consistent arities, but one event may trigger
+    /// several rules and heads need not chain consecutively.
+    pub fn new_relaxed(program: Program) -> Result<Delp> {
+        Self::build(program, false)
+    }
+
+    fn build(program: Program, strict: bool) -> Result<Delp> {
+        if program.rules.is_empty() {
+            return Err(Error::InvalidDelp("program has no rules".into()));
+        }
+
+        // Condition 1: every rule is event-driven — the paper's form is
+        // `[head] :- [event], [conditions]`, so the *first* body item must
+        // be the event atom (evaluation then always binds the event's
+        // variables before any constraint or assignment runs).
+        for r in &program.rules {
+            if r.event().is_none() {
+                return Err(Error::InvalidDelp(format!(
+                    "rule `{}` has no event atom in its body",
+                    r.label
+                )));
+            }
+            if !matches!(r.body.first(), Some(crate::ast::BodyItem::Atom(_))) {
+                return Err(Error::InvalidDelp(format!(
+                    "rule `{}` must lead with its event atom ([head] :- [event], [conditions])",
+                    r.label
+                )));
+            }
+        }
+
+        // Condition 2: consecutive rules are dependent, and the head's
+        // arity matches the next event's (a head tuple becomes the next
+        // rule's event tuple). Relaxed programs may branch instead.
+        if strict {
+            for pair in program.rules.windows(2) {
+                let (ri, rj) = (&pair[0], &pair[1]);
+                let ev = rj.event().expect("checked above");
+                if ri.head.rel != ev.rel {
+                    return Err(Error::InvalidDelp(format!(
+                        "head of `{}` is `{}` but event of `{}` is `{}` — consecutive rules must be dependent",
+                        ri.label, ri.head.rel, rj.label, ev.rel
+                    )));
+                }
+                if ri.head.arity() != ev.arity() {
+                    return Err(Error::InvalidDelp(format!(
+                        "head `{}` of rule `{}` has arity {} but event of `{}` has arity {}",
+                        ri.head.rel,
+                        ri.label,
+                        ri.head.arity(),
+                        rj.label,
+                        ev.arity()
+                    )));
+                }
+            }
+        }
+
+        // Every use of a relation must agree on its arity — an NDlog
+        // program where `route` is ternary in one rule and binary in
+        // another can never join as intended.
+        {
+            let mut arities: std::collections::BTreeMap<&str, (usize, &str)> = Default::default();
+            for r in &program.rules {
+                let atoms = std::iter::once(&r.head).chain(r.body.iter().filter_map(|b| match b {
+                    crate::ast::BodyItem::Atom(a) => Some(a),
+                    _ => None,
+                }));
+                for atom in atoms {
+                    match arities.get(atom.rel.as_str()) {
+                        Some(&(n, first_rule)) if n != atom.arity() => {
+                            return Err(Error::InvalidDelp(format!(
+                                "relation `{}` used with arity {} in rule `{}` but arity {n} in rule `{first_rule}`",
+                                atom.rel,
+                                atom.arity(),
+                                r.label,
+                            )));
+                        }
+                        Some(_) => {}
+                        None => {
+                            arities.insert(&atom.rel, (atom.arity(), &r.label));
+                        }
+                    }
+                }
+            }
+        }
+
+        let head_rels: BTreeSet<String> =
+            program.rules.iter().map(|r| r.head.rel.clone()).collect();
+
+        // Condition 3: head relations only appear as event relations in
+        // bodies.
+        if strict {
+            for r in &program.rules {
+                for cond in r.condition_atoms() {
+                    if head_rels.contains(&cond.rel) {
+                        return Err(Error::InvalidDelp(format!(
+                            "head relation `{}` appears as a non-event atom in rule `{}`",
+                            cond.rel, r.label
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Safety: every head variable must be bound by the body (event,
+        // condition atoms, or an assignment).
+        for r in &program.rules {
+            let mut bound: BTreeSet<&str> = BTreeSet::new();
+            for atom in std::iter::once(r.event().expect("checked")).chain(r.condition_atoms()) {
+                bound.extend(atom.vars());
+            }
+            for (var, _) in r.assignments() {
+                bound.insert(var);
+            }
+            for v in r.head.vars() {
+                if !bound.contains(v) {
+                    return Err(Error::InvalidDelp(format!(
+                        "head variable `{v}` of rule `{}` is not bound by the body",
+                        r.label
+                    )));
+                }
+            }
+        }
+
+        let event_rels: BTreeSet<String> = program
+            .rules
+            .iter()
+            .map(|r| r.event().expect("checked").rel.clone())
+            .collect();
+
+        let slow_rels: BTreeSet<String> = program
+            .rules
+            .iter()
+            .flat_map(|r| r.condition_atoms().map(|a| a.rel.clone()))
+            .collect();
+
+        // Output relations: heads that are not consumed as events by any
+        // rule. For a linear chain this is the head of the last rule; a
+        // recursive rule (e.g. DNS `request -> request`) keeps intermediate
+        // heads in the event set.
+        let output_rels: BTreeSet<String> = head_rels
+            .iter()
+            .filter(|h| !event_rels.contains(*h))
+            .cloned()
+            .collect();
+        if output_rels.is_empty() {
+            return Err(Error::InvalidDelp(
+                "program has no output relation: every head is consumed as an event".into(),
+            ));
+        }
+
+        // The input event: the event relation of the first rule. It must
+        // not itself be derivable, except through the recursive-relation
+        // idiom where the first rule's head has the same name (packet
+        // forwarding). Slow relations must not double as events.
+        let input_event = program.rules[0].event().expect("checked above").rel.clone();
+        if slow_rels.contains(&input_event) {
+            return Err(Error::InvalidDelp(format!(
+                "input event relation `{input_event}` also appears as a slow-changing atom"
+            )));
+        }
+
+        Ok(Delp {
+            program,
+            input_event,
+            slow_rels,
+            output_rels,
+            event_rels,
+        })
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Rules in execution order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.program.rules
+    }
+
+    /// The relation of the input event that triggers the program.
+    pub fn input_event(&self) -> &str {
+        &self.input_event
+    }
+
+    /// Slow-changing relations (non-event body relations).
+    pub fn slow_rels(&self) -> &BTreeSet<String> {
+        &self.slow_rels
+    }
+
+    /// Output relations: derived heads never consumed as events.
+    pub fn output_rels(&self) -> &BTreeSet<String> {
+        &self.output_rels
+    }
+
+    /// Event relations (input event plus intermediate heads).
+    pub fn event_rels(&self) -> &BTreeSet<String> {
+        &self.event_rels
+    }
+
+    /// Is `rel` a slow-changing relation of this program?
+    pub fn is_slow(&self, rel: &str) -> bool {
+        self.slow_rels.contains(rel)
+    }
+
+    /// Is `rel` an output relation of this program?
+    pub fn is_output(&self, rel: &str) -> bool {
+        self.output_rels.contains(rel)
+    }
+
+    /// Rules whose designated event relation is `rel`.
+    pub fn rules_for_event<'a>(&'a self, rel: &'a str) -> impl Iterator<Item = &'a Rule> {
+        self.program
+            .rules
+            .iter()
+            .filter(move |r| r.event().map(|e| e.rel.as_str()) == Some(rel))
+    }
+
+    /// Arity of the input event relation.
+    pub fn input_event_arity(&self) -> usize {
+        self.program.rules[0].event().expect("validated").arity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn delp(src: &str) -> Result<Delp> {
+        Delp::new(parse_program(src).unwrap())
+    }
+
+    const FORWARDING: &str = r#"
+        r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).
+        r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.
+    "#;
+
+    const DNS: &str = r#"
+        r1 request(@RT, URL, HST, RQID) :- url(@HST, URL, RQID), rootServer(@HST, RT).
+        r2 request(@SV, URL, HST, RQID) :- request(@X, URL, HST, RQID),
+            nameServer(@X, DM, SV), f_isSubDomain(DM, URL) == true.
+        r3 dnsResult(@X, URL, IPADDR, HST, RQID) :- request(@X, URL, HST, RQID),
+            addressRecord(@X, URL, IPADDR).
+        r4 reply(@HST, URL, IPADDR, RQID) :- dnsResult(@X, URL, IPADDR, HST, RQID).
+    "#;
+
+    #[test]
+    fn forwarding_is_valid_delp() {
+        let d = delp(FORWARDING).unwrap();
+        assert_eq!(d.input_event(), "packet");
+        assert_eq!(
+            d.slow_rels().iter().cloned().collect::<Vec<_>>(),
+            vec!["route"]
+        );
+        assert_eq!(
+            d.output_rels().iter().cloned().collect::<Vec<_>>(),
+            vec!["recv"]
+        );
+        assert!(d.is_slow("route"));
+        assert!(!d.is_slow("packet"));
+        assert!(d.is_output("recv"));
+        assert_eq!(d.input_event_arity(), 4);
+    }
+
+    #[test]
+    fn dns_is_valid_delp() {
+        let d = delp(DNS).unwrap();
+        assert_eq!(d.input_event(), "url");
+        let slow: Vec<_> = d.slow_rels().iter().cloned().collect();
+        assert_eq!(slow, vec!["addressRecord", "nameServer", "rootServer"]);
+        let outs: Vec<_> = d.output_rels().iter().cloned().collect();
+        assert_eq!(outs, vec!["reply"]);
+        // request is recursive: both a head and an event.
+        assert!(d.event_rels().contains("request"));
+        assert_eq!(d.rules_for_event("request").count(), 2);
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(delp("").is_err());
+    }
+
+    #[test]
+    fn rule_without_event_rejected() {
+        let err = delp("r1 a(@X) :- X == X.").unwrap_err();
+        assert!(err.to_string().contains("no event atom"), "{err}");
+    }
+
+    #[test]
+    fn non_dependent_consecutive_rules_rejected() {
+        let src = r#"
+            r1 a(@X, Y) :- e(@X, Y), s(@X, Y).
+            r2 b(@X, Y) :- c(@X, Y), s(@X, Y).
+        "#;
+        let err = delp(src).unwrap_err();
+        assert!(err.to_string().contains("dependent"), "{err}");
+    }
+
+    #[test]
+    fn head_as_condition_atom_rejected() {
+        let src = r#"
+            r1 a(@X, Y) :- e(@X, Y), s(@X, Y).
+            r2 b(@X, Y) :- a(@X, Y), a(@X, Y).
+        "#;
+        let err = delp(src).unwrap_err();
+        assert!(err.to_string().contains("non-event"), "{err}");
+    }
+
+    #[test]
+    fn unbound_head_variable_rejected() {
+        let src = "r1 a(@X, Z) :- e(@X, Y).";
+        let err = delp(src).unwrap_err();
+        assert!(err.to_string().contains("not bound"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_relation_arity_rejected() {
+        let src = r#"
+            r1 a(@X, Y) :- e(@X, Y), s(@X, Y).
+            r2 b(@X, Y) :- a(@X, Y), s(@X).
+        "#;
+        let err = delp(src).unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
+        assert!(err.to_string().contains("`s`"), "{err}");
+    }
+
+    #[test]
+    fn constraint_before_event_rejected() {
+        let err = delp("r1 a(@X) :- X == X, e(@X, X).").unwrap_err();
+        assert!(err.to_string().contains("lead with its event"), "{err}");
+    }
+
+    #[test]
+    fn assignment_binds_head_variable() {
+        let src = "r1 a(@X, Z) :- e(@X, Y), Z := Y + 1.";
+        assert!(delp(src).is_ok());
+    }
+
+    #[test]
+    fn arity_mismatch_across_dependency_rejected() {
+        let src = r#"
+            r1 a(@X, Y) :- e(@X, Y), s(@X, Y).
+            r2 b(@X) :- a(@X), s(@X, X).
+        "#;
+        let err = delp(src).unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn event_also_slow_rejected() {
+        let src = "r1 a(@X, Y) :- e(@X, Y), e(@X, Y).";
+        let err = delp(src).unwrap_err();
+        assert!(err.to_string().contains("slow-changing"), "{err}");
+    }
+
+    #[test]
+    fn fully_consumed_heads_rejected() {
+        // A two-rule cycle where every head is an event somewhere and
+        // nothing is an output.
+        let src = r#"
+            r1 a(@X, Y) :- a(@X, Y), s(@X, Y).
+        "#;
+        let err = delp(src).unwrap_err();
+        assert!(err.to_string().contains("no output relation"), "{err}");
+    }
+}

@@ -1,0 +1,363 @@
+//! Attribute-level dependency graph (Section 5.2, Appendix C).
+//!
+//! Nodes are attributes `(rel, index)` of the relations appearing in a DELP.
+//! Undirected edges connect an attribute of a rule's *event* atom to another
+//! attribute of the same rule under the four conditions of Section 5.2:
+//!
+//! 1. same variable in a slow-changing condition atom (a *join* with slow
+//!    state — `joinSAttr` in Appendix B),
+//! 2. same variable in the head atom (`joinFAttr`),
+//! 3. both variables appear in the same arithmetic atom (constraint),
+//! 4. the event attribute feeds the right-hand side of an assignment whose
+//!    left-hand variable appears elsewhere in the rule.
+//!
+//! Because nodes are keyed by `(rel, index)`, the head attributes of rule
+//! `r_i` and the event attributes of rule `r_{i+1}` are the *same* node —
+//! which is exactly how information flow propagates down the rule chain in
+//! the paper's formulation.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::ast::{BodyItem, Rule};
+use crate::delp::Delp;
+
+/// An attribute node: relation name plus 0-based attribute index.
+pub type AttrNode = (String, usize);
+
+/// The attribute-level dependency graph of a DELP.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// Adjacency sets, keyed by attribute node.
+    adj: HashMap<AttrNode, HashSet<AttrNode>>,
+    /// Nodes that belong to slow-changing relations.
+    slow_nodes: HashSet<AttrNode>,
+}
+
+impl DepGraph {
+    /// Build the dependency graph for a validated DELP.
+    pub fn build(delp: &Delp) -> DepGraph {
+        let mut g = DepGraph {
+            adj: HashMap::new(),
+            slow_nodes: HashSet::new(),
+        };
+
+        // Register every attribute of every atom occurrence as a node, and
+        // mark slow-relation attributes.
+        for rule in delp.rules() {
+            let atoms =
+                std::iter::once(&rule.head).chain(rule.body.iter().filter_map(|b| match b {
+                    BodyItem::Atom(a) => Some(a),
+                    _ => None,
+                }));
+            for atom in atoms {
+                for i in 0..atom.arity() {
+                    let node = (atom.rel.clone(), i);
+                    g.adj.entry(node.clone()).or_default();
+                    if delp.is_slow(&atom.rel) {
+                        g.slow_nodes.insert(node);
+                    }
+                }
+            }
+        }
+
+        for rule in delp.rules() {
+            g.add_rule_edges(rule);
+        }
+        g
+    }
+
+    fn add_edge(&mut self, a: AttrNode, b: AttrNode) {
+        if a == b {
+            return;
+        }
+        self.adj.entry(a.clone()).or_default().insert(b.clone());
+        self.adj.entry(b).or_default().insert(a);
+    }
+
+    fn add_rule_edges(&mut self, rule: &Rule) {
+        let event = rule.event().expect("DELP validation guarantees an event");
+
+        // Variable occurrence maps for this rule.
+        let mut ev_pos: HashMap<&str, Vec<AttrNode>> = HashMap::new();
+        let mut cond_pos: HashMap<&str, Vec<AttrNode>> = HashMap::new();
+        let mut head_pos: HashMap<&str, Vec<AttrNode>> = HashMap::new();
+        let mut all_pos: HashMap<&str, Vec<AttrNode>> = HashMap::new();
+
+        for (i, t) in event.args.iter().enumerate() {
+            if let Some(v) = t.as_var() {
+                let node = (event.rel.clone(), i);
+                ev_pos.entry(v).or_default().push(node.clone());
+                all_pos.entry(v).or_default().push(node);
+            }
+        }
+        for cond in rule.condition_atoms() {
+            for (i, t) in cond.args.iter().enumerate() {
+                if let Some(v) = t.as_var() {
+                    let node = (cond.rel.clone(), i);
+                    cond_pos.entry(v).or_default().push(node.clone());
+                    all_pos.entry(v).or_default().push(node);
+                }
+            }
+        }
+        for (i, t) in rule.head.args.iter().enumerate() {
+            if let Some(v) = t.as_var() {
+                let node = (rule.head.rel.clone(), i);
+                head_pos.entry(v).or_default().push(node.clone());
+                all_pos.entry(v).or_default().push(node);
+            }
+        }
+
+        // Condition 1: event attribute joins a slow-changing attribute.
+        // Condition 2: event attribute flows to a head attribute.
+        for (var, evs) in &ev_pos {
+            for p in evs {
+                for q in cond_pos.get(var).into_iter().flatten() {
+                    self.add_edge(p.clone(), q.clone());
+                }
+                for q in head_pos.get(var).into_iter().flatten() {
+                    self.add_edge(p.clone(), q.clone());
+                }
+            }
+        }
+
+        // Condition 3: attributes sharing an arithmetic atom.
+        for (left, _, right) in rule.constraints() {
+            let mut vars: Vec<&str> = left.vars();
+            for v in right.vars() {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            for x in &vars {
+                let Some(ps) = ev_pos.get(x) else { continue };
+                for y in &vars {
+                    for q in all_pos.get(y).into_iter().flatten() {
+                        for p in ps {
+                            self.add_edge(p.clone(), q.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Condition 4: assignments — rhs event attributes connect to every
+        // occurrence of the lhs variable.
+        for (lhs, expr) in rule.assignments() {
+            for x in expr.vars() {
+                let Some(ps) = ev_pos.get(x) else { continue };
+                for q in all_pos.get(lhs).into_iter().flatten() {
+                    for p in ps {
+                        self.add_edge(p.clone(), q.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// All nodes in the graph.
+    pub fn nodes(&self) -> impl Iterator<Item = &AttrNode> {
+        self.adj.keys()
+    }
+
+    /// Neighbors of `node`.
+    pub fn neighbors(&self, node: &AttrNode) -> impl Iterator<Item = &AttrNode> {
+        self.adj.get(node).into_iter().flatten()
+    }
+
+    /// Is there an edge between `a` and `b`?
+    pub fn has_edge(&self, a: &AttrNode, b: &AttrNode) -> bool {
+        self.adj.get(a).is_some_and(|s| s.contains(b))
+    }
+
+    /// Is `node` an attribute of a slow-changing relation?
+    pub fn is_slow_node(&self, node: &AttrNode) -> bool {
+        self.slow_nodes.contains(node)
+    }
+
+    /// Does `start` reach (via any path) an attribute of a slow-changing
+    /// relation? This is the reachability test of `GetEquiKeys` (Figure 5).
+    pub fn reaches_slow(&self, start: &AttrNode) -> bool {
+        if !self.adj.contains_key(start) {
+            return false;
+        }
+        let mut seen: HashSet<&AttrNode> = HashSet::new();
+        let mut queue: VecDeque<&AttrNode> = VecDeque::new();
+        if let Some((k, _)) = self.adj.get_key_value(start) {
+            seen.insert(k);
+            queue.push_back(k);
+        }
+        while let Some(n) = queue.pop_front() {
+            if self.slow_nodes.contains(n) {
+                return true;
+            }
+            for m in self.neighbors(n) {
+                if seen.insert(m) {
+                    queue.push_back(m);
+                }
+            }
+        }
+        false
+    }
+
+    /// Render the graph in Graphviz dot format (Appendix C's Figure 17
+    /// can be regenerated this way). Slow-relation attributes are drawn
+    /// as boxes, the rest as ellipses; output is sorted for determinism.
+    pub fn to_dot(&self, title: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "graph \"{title}\" {{").expect("write to String");
+        let mut nodes: Vec<&AttrNode> = self.adj.keys().collect();
+        nodes.sort();
+        for n in &nodes {
+            let shape = if self.is_slow_node(n) {
+                "box"
+            } else {
+                "ellipse"
+            };
+            writeln!(out, "  \"{}:{}\" [shape={shape}];", n.0, n.1).expect("write to String");
+        }
+        let mut edges: Vec<(&AttrNode, &AttrNode)> = Vec::new();
+        for a in &nodes {
+            for b in self.neighbors(a) {
+                if (a.0.as_str(), a.1) < (b.0.as_str(), b.1) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges.sort();
+        for (a, b) in edges {
+            writeln!(out, "  \"{}:{}\" -- \"{}:{}\";", a.0, a.1, b.0, b.1)
+                .expect("write to String");
+        }
+        writeln!(out, "}}").expect("write to String");
+        out
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(HashSet::len).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delp::Delp;
+    use crate::parser::parse_program;
+
+    fn graph(src: &str) -> DepGraph {
+        DepGraph::build(&Delp::new(parse_program(src).unwrap()).unwrap())
+    }
+
+    const FORWARDING: &str = r#"
+        r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).
+        r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.
+    "#;
+
+    fn n(rel: &str, i: usize) -> AttrNode {
+        (rel.to_string(), i)
+    }
+
+    #[test]
+    fn forwarding_graph_has_paper_edges() {
+        // Appendix C (Figure 17): the packet-forwarding dependency graph.
+        let g = graph(FORWARDING);
+        // Condition 1 joins with the slow route table in r1:
+        assert!(g.has_edge(&n("packet", 0), &n("route", 0)));
+        assert!(g.has_edge(&n("packet", 2), &n("route", 1)));
+        // Condition 2 head edges in r2:
+        assert!(g.has_edge(&n("packet", 0), &n("recv", 0)));
+        assert!(g.has_edge(&n("packet", 1), &n("recv", 1)));
+        assert!(g.has_edge(&n("packet", 3), &n("recv", 3)));
+        // Condition 3: D == L connects packet:0 and packet:2.
+        assert!(g.has_edge(&n("packet", 0), &n("packet", 2)));
+    }
+
+    #[test]
+    fn forwarding_graph_reachability() {
+        let g = graph(FORWARDING);
+        assert!(g.reaches_slow(&n("packet", 0)));
+        assert!(g.reaches_slow(&n("packet", 2)));
+        // Source and payload never join slow state.
+        assert!(!g.reaches_slow(&n("packet", 1)));
+        assert!(!g.reaches_slow(&n("packet", 3)));
+    }
+
+    #[test]
+    fn slow_nodes_are_marked() {
+        let g = graph(FORWARDING);
+        assert!(g.is_slow_node(&n("route", 0)));
+        assert!(g.is_slow_node(&n("route", 2)));
+        assert!(!g.is_slow_node(&n("packet", 0)));
+    }
+
+    #[test]
+    fn head_nodes_unify_with_next_rule_event() {
+        // packet appears as r1's event, r1's head and r2's event — one node
+        // set. The total node count is |packet|*4? No: packet(4) + route(3)
+        // + recv(4) = 11.
+        let g = graph(FORWARDING);
+        assert_eq!(g.node_count(), 11);
+    }
+
+    #[test]
+    fn assignment_edges() {
+        let src = r#"
+            r1 a(@X, Z) :- e(@X, Y), s(@X, X), Z := Y + 1.
+        "#;
+        let g = graph(src);
+        // Y (e:1) feeds Z, which is a:1.
+        assert!(g.has_edge(&n("e", 1), &n("a", 1)));
+    }
+
+    #[test]
+    fn function_call_constraint_edges() {
+        let src = r#"
+            r1 a(@X, U) :- e(@X, U), s(@X, D), f_sub(D, U) == true.
+        "#;
+        let g = graph(src);
+        // U (e:1) shares the arithmetic atom with D, which occurs at s:1.
+        assert!(g.has_edge(&n("e", 1), &n("s", 1)));
+        assert!(g.reaches_slow(&n("e", 1)));
+    }
+
+    #[test]
+    fn unknown_node_does_not_reach() {
+        let g = graph(FORWARDING);
+        assert!(!g.reaches_slow(&n("nosuch", 0)));
+    }
+
+    #[test]
+    fn dot_export_is_deterministic_and_complete() {
+        let g = graph(FORWARDING);
+        let dot = g.to_dot("fig17");
+        assert_eq!(dot, graph(FORWARDING).to_dot("fig17"));
+        assert!(dot.starts_with("graph \"fig17\" {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Every node appears; slow attributes are boxes.
+        assert!(dot.contains("\"packet:0\" [shape=ellipse]"));
+        assert!(dot.contains("\"route:0\" [shape=box]"));
+        // The D == L edge of rule r2.
+        assert!(dot.contains("\"packet:0\" -- \"packet:2\";"));
+        // Edge lines = edge_count.
+        let edge_lines = dot.lines().filter(|l| l.contains("--")).count();
+        assert_eq!(edge_lines, g.edge_count());
+    }
+
+    #[test]
+    fn edge_count_is_symmetric() {
+        let g = graph(FORWARDING);
+        // Every has_edge(a,b) implies has_edge(b,a).
+        for a in g.nodes() {
+            for b in g.neighbors(a) {
+                assert!(g.has_edge(b, a));
+            }
+        }
+        assert!(g.edge_count() > 0);
+    }
+}

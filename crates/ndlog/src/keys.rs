@@ -1,0 +1,228 @@
+//! Equivalence-key identification (`GetEquiKeys`, Figure 5) and runtime
+//! key extraction.
+//!
+//! The equivalence keys of a DELP are the attributes of the input event
+//! relation whose values determine the shape of the provenance tree: the
+//! input location (always) plus every event attribute that reaches an
+//! attribute of a slow-changing relation in the dependency graph
+//! (Definition 3). Two input events that agree on the keys generate
+//! equivalent provenance trees (Theorem 1), which is what lets the runtime
+//! detect tree equivalence by hashing a few attribute values instead of
+//! comparing trees node by node.
+
+use dpc_common::{EqKeyHash, Error, Result, Tuple, Value};
+
+use crate::delp::Delp;
+use crate::depgraph::DepGraph;
+
+/// The equivalence keys of a DELP's input event relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivKeys {
+    rel: String,
+    indices: Vec<usize>,
+}
+
+/// Run `GetEquiKeys` (Figure 5): compute the equivalence keys of the input
+/// event relation of `delp`.
+pub fn equivalence_keys(delp: &Delp) -> EquivKeys {
+    let graph = DepGraph::build(delp);
+    equivalence_keys_with_graph(delp, &graph)
+}
+
+/// As [`equivalence_keys`], but reusing an already-built dependency graph.
+pub fn equivalence_keys_with_graph(delp: &Delp, graph: &DepGraph) -> EquivKeys {
+    let rel = delp.input_event().to_string();
+    let arity = delp.input_event_arity();
+    let mut indices = vec![0]; // the input location is always a key
+    for i in 1..arity {
+        if graph.reaches_slow(&(rel.clone(), i)) {
+            indices.push(i);
+        }
+    }
+    EquivKeys { rel, indices }
+}
+
+impl EquivKeys {
+    /// Construct keys directly (mainly for tests and hand-built programs).
+    pub fn new(rel: impl Into<String>, indices: Vec<usize>) -> EquivKeys {
+        EquivKeys {
+            rel: rel.into(),
+            indices,
+        }
+    }
+
+    /// The input event relation the keys apply to.
+    pub fn rel(&self) -> &str {
+        &self.rel
+    }
+
+    /// Key attribute indices, ascending; index 0 is always present.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Project an input event tuple onto the key attributes.
+    pub fn project<'t>(&self, event: &'t Tuple) -> Result<Vec<&'t Value>> {
+        if event.rel() != self.rel {
+            return Err(Error::Schema(format!(
+                "expected event of relation `{}`, got `{}`",
+                self.rel,
+                event.rel()
+            )));
+        }
+        self.indices
+            .iter()
+            .map(|&i| {
+                event.args().get(i).ok_or_else(|| {
+                    Error::Schema(format!(
+                        "event {event} has no attribute {i} required by equivalence keys"
+                    ))
+                })
+            })
+            .collect()
+    }
+
+    /// Hash the key valuation of `event` — the value stored in `htequi` and
+    /// used as the `hmap` key in the online compression scheme (§5.3).
+    pub fn hash(&self, event: &Tuple) -> Result<EqKeyHash> {
+        let vals = self.project(event)?;
+        let mut buf = Vec::with_capacity(8 + vals.len() * 12);
+        buf.extend_from_slice(&(self.rel.len() as u32).to_be_bytes());
+        buf.extend_from_slice(self.rel.as_bytes());
+        for (i, v) in self.indices.iter().zip(vals) {
+            buf.extend_from_slice(&(*i as u32).to_be_bytes());
+            v.encode_into(&mut buf);
+        }
+        Ok(EqKeyHash::of_bytes(&buf))
+    }
+
+    /// Are two event tuples equivalent w.r.t. these keys (Definition 2)?
+    pub fn equivalent(&self, a: &Tuple, b: &Tuple) -> Result<bool> {
+        Ok(self.project(a)? == self.project(b)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delp::Delp;
+    use crate::parser::parse_program;
+    use dpc_common::{NodeId, Tuple};
+
+    const FORWARDING: &str = r#"
+        r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).
+        r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.
+    "#;
+
+    const DNS: &str = r#"
+        r1 request(@RT, URL, HST, RQID) :- url(@HST, URL, RQID), rootServer(@HST, RT).
+        r2 request(@SV, URL, HST, RQID) :- request(@X, URL, HST, RQID),
+            nameServer(@X, DM, SV), f_isSubDomain(DM, URL) == true.
+        r3 dnsResult(@X, URL, IPADDR, HST, RQID) :- request(@X, URL, HST, RQID),
+            addressRecord(@X, URL, IPADDR).
+        r4 reply(@HST, URL, IPADDR, RQID) :- dnsResult(@X, URL, IPADDR, HST, RQID).
+    "#;
+
+    fn keys(src: &str) -> EquivKeys {
+        equivalence_keys(&Delp::new(parse_program(src).unwrap()).unwrap())
+    }
+
+    fn packet(loc: u32, src: u32, dst: u32, payload: &str) -> Tuple {
+        Tuple::new(
+            "packet",
+            vec![
+                Value::Addr(NodeId(loc)),
+                Value::Addr(NodeId(src)),
+                Value::Addr(NodeId(dst)),
+                Value::str(payload),
+            ],
+        )
+    }
+
+    #[test]
+    fn forwarding_keys_match_paper() {
+        // Section 5.2: GetEquiKeys identifies (packet:0, packet:2).
+        let k = keys(FORWARDING);
+        assert_eq!(k.rel(), "packet");
+        assert_eq!(k.indices(), &[0, 2]);
+    }
+
+    #[test]
+    fn dns_keys_are_location_and_url() {
+        let k = keys(DNS);
+        assert_eq!(k.rel(), "url");
+        // url(@HST, URL, RQID): HST joins rootServer (slow), URL reaches
+        // nameServer/addressRecord; RQID never joins slow state.
+        assert_eq!(k.indices(), &[0, 1]);
+    }
+
+    #[test]
+    fn equivalent_events_same_hash() {
+        let k = keys(FORWARDING);
+        let a = packet(1, 1, 3, "data");
+        let b = packet(1, 2, 3, "url"); // differs only on non-key attrs
+        assert!(k.equivalent(&a, &b).unwrap());
+        assert_eq!(k.hash(&a).unwrap(), k.hash(&b).unwrap());
+    }
+
+    #[test]
+    fn non_equivalent_events_different_hash() {
+        let k = keys(FORWARDING);
+        let a = packet(1, 1, 3, "data");
+        let b = packet(1, 1, 2, "data"); // different destination (key)
+        let c = packet(2, 1, 3, "data"); // different location (key)
+        assert!(!k.equivalent(&a, &b).unwrap());
+        assert!(!k.equivalent(&a, &c).unwrap());
+        assert_ne!(k.hash(&a).unwrap(), k.hash(&b).unwrap());
+        assert_ne!(k.hash(&a).unwrap(), k.hash(&c).unwrap());
+    }
+
+    #[test]
+    fn wrong_relation_rejected() {
+        let k = keys(FORWARDING);
+        let t = Tuple::new("recv", vec![Value::Addr(NodeId(1))]);
+        assert!(k.hash(&t).is_err());
+        assert!(k.project(&t).is_err());
+    }
+
+    #[test]
+    fn short_tuple_rejected() {
+        let k = keys(FORWARDING);
+        let t = Tuple::new("packet", vec![Value::Addr(NodeId(1))]);
+        assert!(k.hash(&t).is_err());
+    }
+
+    #[test]
+    fn key_hash_binds_attribute_positions() {
+        // Key hashing must distinguish which attribute carried a value, not
+        // just the multiset of values.
+        let k1 = EquivKeys::new("e", vec![0, 1]);
+        let k2 = EquivKeys::new("e", vec![0, 2]);
+        let t = Tuple::new(
+            "e",
+            vec![Value::Addr(NodeId(1)), Value::Int(5), Value::Int(5)],
+        );
+        // Same projected values (n1, 5) but different key positions.
+        assert_ne!(k1.hash(&t).unwrap(), k2.hash(&t).unwrap());
+    }
+
+    #[test]
+    fn program_without_slow_joins_keys_only_location() {
+        let src = "r1 out(@X, Y) :- e(@X, Y), s(@X, X).";
+        // Y never touches slow state; only location is a key.
+        let k = keys(src);
+        assert_eq!(k.indices(), &[0]);
+    }
+
+    #[test]
+    fn transitive_reachability_adds_keys() {
+        // Y does not join slow state in rule 1, but flows into the head and
+        // joins slow state in rule 2 — so it must be a key.
+        let src = r#"
+            r1 mid(@X, Y) :- e(@X, Y), s1(@X, X).
+            r2 out(@X, Y) :- mid(@X, Y), s2(@X, Y).
+        "#;
+        let k = keys(src);
+        assert_eq!(k.indices(), &[0, 1]);
+    }
+}

@@ -1,0 +1,415 @@
+//! Tokenizer for NDlog source text.
+//!
+//! Supports line comments beginning with `//` or `%`. String literals use
+//! double quotes with `\"` and `\\` escapes. Integers may be negative.
+
+use dpc_common::{Error, Result};
+
+/// One lexical token plus its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// The kinds of token NDlog source can contain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (relation, variable or function name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (already unescaped).
+    Str(String),
+    /// A boolean literal (`true` / `false`).
+    Bool(bool),
+    /// `@`
+    At,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Period,
+    /// `:-`
+    ColonDash,
+    /// `:=`
+    ColonEq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+impl TokenKind {
+    /// A short human-readable name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(i) => format!("integer `{i}`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::Bool(b) => format!("boolean `{b}`"),
+            TokenKind::At => "`@`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Period => "`.`".into(),
+            TokenKind::ColonDash => "`:-`".into(),
+            TokenKind::ColonEq => "`:=`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::NotEq => "`!=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+        }
+    }
+}
+
+/// Tokenize NDlog source text.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Parse {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            // Skip whitespace and comments.
+            match self.chars.peek() {
+                None => break,
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                    continue;
+                }
+                Some('%') => {
+                    self.skip_line();
+                    continue;
+                }
+                Some('/') => {
+                    // Could be `//` comment or `/` operator; need lookahead.
+                    let mut clone = self.chars.clone();
+                    clone.next();
+                    if clone.peek() == Some(&'/') {
+                        self.skip_line();
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            let (line, col) = (self.line, self.col);
+            let kind = self.next_kind()?;
+            out.push(Token { kind, line, col });
+        }
+        Ok(out)
+    }
+
+    fn skip_line(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == '\n' {
+                break;
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> Result<TokenKind> {
+        let c = self.bump().expect("caller checked non-empty");
+        Ok(match c {
+            '@' => TokenKind::At,
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            ',' => TokenKind::Comma,
+            '.' => TokenKind::Period,
+            '+' => TokenKind::Plus,
+            '*' => TokenKind::Star,
+            '/' => TokenKind::Slash,
+            '-' => {
+                // Negative integer literal or minus operator. A digit
+                // immediately after `-` makes it a literal.
+                if self.chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    let n = self.lex_int()?;
+                    TokenKind::Int(-n)
+                } else {
+                    TokenKind::Minus
+                }
+            }
+            ':' => match self.bump() {
+                Some('-') => TokenKind::ColonDash,
+                Some('=') => TokenKind::ColonEq,
+                other => {
+                    return Err(self.err(format!(
+                        "expected `:-` or `:=`, found `:{}`",
+                        other.map(String::from).unwrap_or_default()
+                    )))
+                }
+            },
+            '=' => match self.bump() {
+                Some('=') => TokenKind::EqEq,
+                _ => return Err(self.err("expected `==`")),
+            },
+            '!' => match self.bump() {
+                Some('=') => TokenKind::NotEq,
+                _ => return Err(self.err("expected `!=`")),
+            },
+            '<' => {
+                if self.chars.peek() == Some(&'=') {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if self.chars.peek() == Some(&'=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        None => return Err(self.err("unterminated string literal")),
+                        Some('"') => break,
+                        Some('\\') => match self.bump() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('n') => s.push('\n'),
+                            other => {
+                                return Err(self.err(format!(
+                                    "unknown escape `\\{}`",
+                                    other.map(String::from).unwrap_or_default()
+                                )))
+                            }
+                        },
+                        Some(c) => s.push(c),
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = (c as u8 - b'0') as i64;
+                while let Some(d) = self.chars.peek().and_then(|c| c.to_digit(10)) {
+                    self.bump();
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(d as i64))
+                        .ok_or_else(|| self.err("integer literal overflows i64"))?;
+                }
+                TokenKind::Int(n)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                s.push(c);
+                while let Some(&p) = self.chars.peek() {
+                    if p.is_ascii_alphanumeric() || p == '_' {
+                        s.push(p);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                match s.as_str() {
+                    "true" => TokenKind::Bool(true),
+                    "false" => TokenKind::Bool(false),
+                    _ => TokenKind::Ident(s),
+                }
+            }
+            other => return Err(self.err(format!("unexpected character `{other}`"))),
+        })
+    }
+
+    fn lex_int(&mut self) -> Result<i64> {
+        let mut n: i64 = 0;
+        while let Some(d) = self.chars.peek().and_then(|c| c.to_digit(10)) {
+            self.bump();
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(d as i64))
+                .ok_or_else(|| self.err("integer literal overflows i64"))?;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_rule_fragment() {
+        let ks = kinds("r1 packet(@N, S) :- D == L.");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("r1".into()),
+                TokenKind::Ident("packet".into()),
+                TokenKind::LParen,
+                TokenKind::At,
+                TokenKind::Ident("N".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("S".into()),
+                TokenKind::RParen,
+                TokenKind::ColonDash,
+                TokenKind::Ident("D".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("L".into()),
+                TokenKind::Period,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            kinds(":= == != < <= > >= + - * /"),
+            vec![
+                TokenKind::ColonEq,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_literals() {
+        assert_eq!(
+            kinds(r#"42 -7 "ab\"c" true false"#),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(-7),
+                TokenKind::Str("ab\"c".into()),
+                TokenKind::Bool(true),
+                TokenKind::Bool(false),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // rest of line\n% whole line\nb");
+        assert_eq!(
+            ks,
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn slash_operator_still_lexes() {
+        assert_eq!(
+            kinds("a / b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Slash,
+                TokenKind::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("ab\n cd").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 2));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn stray_colon_is_error() {
+        assert!(lex(": x").is_err());
+    }
+
+    #[test]
+    fn unknown_character_is_error() {
+        assert!(lex("a ^ b").is_err());
+    }
+
+    #[test]
+    fn minus_before_space_is_operator() {
+        assert_eq!(
+            kinds("a - 1"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Minus,
+                TokenKind::Int(1),
+            ]
+        );
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! NDlog language frontend.
+//!
+//! This crate is the compile-time half of the paper:
+//!
+//! * [`lexer`] / [`parser`] — a full text frontend for the Network Datalog
+//!   (NDlog) dialect the paper uses, so programs like Figure 1 (packet
+//!   forwarding) and Figure 19 (DNS resolution) can be written as source
+//!   text.
+//! * [`ast`] — the program representation: rules, atoms, arithmetic
+//!   constraints, assignments and user-defined function calls.
+//! * [`delp`] — validation of the *distributed event-driven linear program*
+//!   restrictions (Definition 1) and classification of relations into input
+//!   events, intermediate events, slow-changing relations and output
+//!   relations.
+//! * [`depgraph`] — the attribute-level dependency graph of Section 5.2.
+//! * [`keys`] — the `GetEquiKeys` static analysis (Figure 5) computing the
+//!   equivalence keys of the input event relation, plus runtime extraction
+//!   of an event tuple's equivalence-key valuation.
+//!
+//! # Example
+//!
+//! ```
+//! use dpc_ndlog::{parse_program, Delp, keys::equivalence_keys};
+//!
+//! let src = r#"
+//!     r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).
+//!     r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.
+//! "#;
+//! let program = parse_program(src).unwrap();
+//! let delp = Delp::new(program).unwrap();
+//! let keys = equivalence_keys(&delp);
+//! // (packet:0, packet:2) — location and destination (Section 5.2).
+//! assert_eq!(keys.indices(), &[0, 2]);
+//! ```
+
+pub mod ast;
+pub mod delp;
+pub mod depgraph;
+pub mod keys;
+pub mod lexer;
+pub mod lint;
+pub mod parser;
+pub mod programs;
+pub mod rewrite;
+
+pub use ast::{Atom, BinOp, BodyItem, CmpOp, Expr, Program, Rule, Term};
+pub use delp::Delp;
+pub use depgraph::DepGraph;
+pub use keys::{equivalence_keys, equivalence_keys_with_graph, EquivKeys};
+pub use lint::{lint, Lint};
+pub use parser::parse_program;

@@ -1,0 +1,216 @@
+//! Static lints for DELPs.
+//!
+//! DELP validation rejects programs that cannot run; lints flag programs
+//! that run but probably don't mean what they say — the NDlog equivalents
+//! of a compiler's warnings. All lints are advisory.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ast::{BodyItem, Term};
+use crate::delp::Delp;
+
+/// One advisory finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// A variable is bound exactly once in a rule body and never used in
+    /// the head, another atom, a constraint or an assignment — usually a
+    /// typo for a variable that was meant to join.
+    UnusedVariable {
+        /// Rule label.
+        rule: String,
+        /// The singleton variable.
+        var: String,
+    },
+    /// An expression (constraint or assignment right-hand side)
+    /// references a variable no relational atom binds and no earlier
+    /// assignment defines: evaluation will fail at runtime.
+    UnboundExprVariable {
+        /// Rule label.
+        rule: String,
+        /// The unbound variable.
+        var: String,
+    },
+    /// The head's location specifier is a constant: every derived tuple
+    /// ships to one fixed node regardless of the join.
+    ConstantHeadLocation {
+        /// Rule label.
+        rule: String,
+    },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::UnusedVariable { rule, var } => {
+                write!(f, "rule `{rule}`: variable `{var}` is bound but never used")
+            }
+            Lint::UnboundExprVariable { rule, var } => write!(
+                f,
+                "rule `{rule}`: expression variable `{var}` is never bound by an atom — evaluation will fail"
+            ),
+            Lint::ConstantHeadLocation { rule } => write!(
+                f,
+                "rule `{rule}`: head location specifier is a constant — all derivations ship to one node"
+            ),
+        }
+    }
+}
+
+/// Run all lints over a validated DELP.
+pub fn lint(delp: &Delp) -> Vec<Lint> {
+    let mut out = Vec::new();
+    for rule in delp.rules() {
+        // Occurrence counting across the whole rule.
+        let mut occurrences: std::collections::BTreeMap<&str, usize> = Default::default();
+        let mut atom_bound: BTreeSet<&str> = BTreeSet::new();
+        let mut assigned: BTreeSet<&str> = BTreeSet::new();
+
+        let atoms = rule
+            .body
+            .iter()
+            .filter_map(|b| match b {
+                BodyItem::Atom(a) => Some(a),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        for atom in &atoms {
+            for v in atom.vars() {
+                *occurrences.entry(v).or_insert(0) += 1;
+                atom_bound.insert(v);
+            }
+        }
+        for v in rule.head.vars() {
+            *occurrences.entry(v).or_insert(0) += 1;
+        }
+        for item in &rule.body {
+            match item {
+                BodyItem::Constraint { left, op: _, right } => {
+                    for v in left.vars().into_iter().chain(right.vars()) {
+                        *occurrences.entry(v).or_insert(0) += 1;
+                        if !atom_bound.contains(v) && !assigned.contains(v) {
+                            out.push(Lint::UnboundExprVariable {
+                                rule: rule.label.clone(),
+                                var: v.to_string(),
+                            });
+                        }
+                    }
+                }
+                BodyItem::Assign { var, expr } => {
+                    for v in expr.vars() {
+                        *occurrences.entry(v).or_insert(0) += 1;
+                        if !atom_bound.contains(v) && !assigned.contains(v) {
+                            out.push(Lint::UnboundExprVariable {
+                                rule: rule.label.clone(),
+                                var: v.to_string(),
+                            });
+                        }
+                    }
+                    *occurrences.entry(var).or_insert(0) += 1;
+                    assigned.insert(var);
+                }
+                BodyItem::Atom(_) => {}
+            }
+        }
+
+        // Location specifiers anchor where a rule executes; a variable
+        // used only as one is doing its job, not dangling.
+        let loc_vars: BTreeSet<&str> = atoms
+            .iter()
+            .filter_map(|a| a.args.first().and_then(Term::as_var))
+            .collect();
+
+        // Singletons: bound by an atom, used nowhere else.
+        for (v, count) in &occurrences {
+            if *count == 1 && atom_bound.contains(v) && !loc_vars.contains(v) {
+                out.push(Lint::UnusedVariable {
+                    rule: rule.label.clone(),
+                    var: v.to_string(),
+                });
+            }
+        }
+
+        if matches!(rule.head.args.first(), Some(Term::Const(_))) {
+            out.push(Lint::ConstantHeadLocation {
+                rule: rule.label.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn lints(src: &str) -> Vec<Lint> {
+        lint(&Delp::new(parse_program(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn clean_programs_have_no_lints() {
+        assert!(lints(crate::programs::PACKET_FORWARDING).is_empty());
+        assert!(lints(crate::programs::DNS_RESOLUTION).is_empty());
+        assert!(lints(crate::programs::DHCP).is_empty());
+        assert!(lints(crate::programs::ARP).is_empty());
+    }
+
+    #[test]
+    fn singleton_variable_is_flagged() {
+        // Z is bound by the slow atom and never used again.
+        let found = lints("r1 out(@X, Y) :- e(@X, Y), s(@X, Z).");
+        assert_eq!(
+            found,
+            vec![Lint::UnusedVariable {
+                rule: "r1".into(),
+                var: "Z".into(),
+            }]
+        );
+        assert!(found[0].to_string().contains("never used"));
+    }
+
+    #[test]
+    fn join_variables_are_not_singletons() {
+        // Z joins the event and the slow atom: used twice.
+        assert!(lints("r1 out(@X, Z) :- e(@X, Z), s(@X, Z).").is_empty());
+    }
+
+    #[test]
+    fn unbound_constraint_variable_is_flagged() {
+        let found = lints("r1 out(@X, Y) :- e(@X, Y), Y == W.");
+        assert!(found.iter().any(|l| matches!(
+            l,
+            Lint::UnboundExprVariable { var, .. } if var == "W"
+        )));
+    }
+
+    #[test]
+    fn assignment_binds_for_later_expressions() {
+        // W is assigned before the constraint uses it: no unbound lint.
+        let found = lints("r1 out(@X, Y) :- e(@X, Y), W := Y + 1, W > 0.");
+        assert!(
+            !found
+                .iter()
+                .any(|l| matches!(l, Lint::UnboundExprVariable { .. })),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn unbound_assignment_rhs_is_flagged() {
+        let found = lints("r1 out(@X, Y) :- e(@X, Z), Y := Q + 1.");
+        assert!(found.iter().any(|l| matches!(
+            l,
+            Lint::UnboundExprVariable { var, .. } if var == "Q"
+        )));
+    }
+
+    #[test]
+    fn constant_head_location_is_flagged() {
+        let found = lints("r1 out(@5, Y) :- e(@X, Y), s(@X, X).");
+        assert!(found
+            .iter()
+            .any(|l| matches!(l, Lint::ConstantHeadLocation { .. })));
+    }
+}

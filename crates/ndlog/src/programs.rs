@@ -1,0 +1,117 @@
+//! Canonical DELP sources from the paper, shared across the workspace.
+
+use crate::delp::Delp;
+use crate::parser::parse_program;
+
+/// Figure 1: the packet-forwarding program.
+///
+/// `r1` forwards a packet at node `L` toward destination `D` by joining the
+/// local `route` table; `r2` stores the packet in `recv` when it reaches its
+/// destination.
+pub const PACKET_FORWARDING: &str = r#"
+    r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).
+    r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.
+"#;
+
+/// Figure 19: recursive DNS resolution.
+///
+/// `r1` forwards a request to the root nameserver; `r2` walks the delegation
+/// chain (`nameServer`) while the requested URL is in a delegated sub-domain;
+/// `r3` resolves against a local `addressRecord`; `r4` returns the reply to
+/// the requesting host.
+pub const DNS_RESOLUTION: &str = r#"
+    r1 request(@RT, URL, HST, RQID) :- url(@HST, URL, RQID), rootServer(@HST, RT).
+    r2 request(@SV, URL, HST, RQID) :- request(@X, URL, HST, RQID),
+        nameServer(@X, DM, SV), f_isSubDomain(DM, URL) == true.
+    r3 dnsResult(@X, URL, IPADDR, HST, RQID) :- request(@X, URL, HST, RQID),
+        addressRecord(@X, URL, IPADDR).
+    r4 reply(@HST, URL, IPADDR, RQID) :- dnsResult(@X, URL, IPADDR, HST, RQID).
+"#;
+
+/// A DHCP-style address assignment DELP (Section 3.1 names DHCP as
+/// expressible): a discover event is relayed to the local DHCP server,
+/// which assigns an address from its pool and acknowledges the client.
+pub const DHCP: &str = r#"
+    r1 dhcpReq(@SV, CL, RQID)      :- discover(@CL, RQID), dhcpServer(@CL, SV).
+    r2 offer(@CL, SV, IP, RQID)    :- dhcpReq(@SV, CL, RQID), addressPool(@SV, IP).
+    r3 lease(@CL, SV, IP, RQID)    :- offer(@CL, SV, IP, RQID).
+"#;
+
+/// An ARP-style resolution DELP (Section 3.1 names ARP as expressible):
+/// a who-has query is answered from the target's local binding table.
+pub const ARP: &str = r#"
+    r1 arpQuery(@GW, CL, IP, RQID) :- whoHas(@CL, IP, RQID), gateway(@CL, GW).
+    r2 arpReply(@CL, IP, MAC, RQID) :- arpQuery(@GW, CL, IP, RQID), binding(@GW, IP, MAC).
+"#;
+
+/// Parse-and-validate [`PACKET_FORWARDING`].
+pub fn packet_forwarding() -> Delp {
+    Delp::new(parse_program(PACKET_FORWARDING).expect("forwarding program parses"))
+        .expect("forwarding program is a valid DELP")
+}
+
+/// Parse-and-validate [`DNS_RESOLUTION`].
+pub fn dns_resolution() -> Delp {
+    Delp::new(parse_program(DNS_RESOLUTION).expect("DNS program parses"))
+        .expect("DNS program is a valid DELP")
+}
+
+/// Parse-and-validate [`DHCP`].
+pub fn dhcp() -> Delp {
+    Delp::new(parse_program(DHCP).expect("DHCP program parses"))
+        .expect("DHCP program is a valid DELP")
+}
+
+/// Parse-and-validate [`ARP`].
+pub fn arp() -> Delp {
+    Delp::new(parse_program(ARP).expect("ARP program parses")).expect("ARP program is a valid DELP")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::equivalence_keys;
+
+    #[test]
+    fn all_programs_are_valid_delps() {
+        packet_forwarding();
+        dns_resolution();
+        dhcp();
+        arp();
+    }
+
+    #[test]
+    fn forwarding_classification() {
+        let d = packet_forwarding();
+        assert_eq!(d.input_event(), "packet");
+        assert!(d.is_output("recv"));
+        assert!(d.is_slow("route"));
+    }
+
+    #[test]
+    fn dns_classification() {
+        let d = dns_resolution();
+        assert_eq!(d.input_event(), "url");
+        assert!(d.is_output("reply"));
+        for slow in ["rootServer", "nameServer", "addressRecord"] {
+            assert!(d.is_slow(slow), "{slow} should be slow-changing");
+        }
+    }
+
+    #[test]
+    fn dhcp_keys() {
+        let k = equivalence_keys(&dhcp());
+        // discover(@CL, RQID): only the client location joins slow state;
+        // the request id does not.
+        assert_eq!(k.rel(), "discover");
+        assert_eq!(k.indices(), &[0]);
+    }
+
+    #[test]
+    fn arp_keys() {
+        let k = equivalence_keys(&arp());
+        // whoHas(@CL, IP, RQID): location and requested IP are keys.
+        assert_eq!(k.rel(), "whoHas");
+        assert_eq!(k.indices(), &[0, 1]);
+    }
+}

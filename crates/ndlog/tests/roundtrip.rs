@@ -1,0 +1,136 @@
+//! Property tests of the NDlog frontend: pretty-print → parse round
+//! trips on randomly generated programs, and total robustness of the
+//! lexer/parser on arbitrary input (errors, never panics).
+
+use dpc_common::Value;
+use dpc_ndlog::{parse_program, Atom, BinOp, BodyItem, CmpOp, Expr, Program, Rule, Term};
+use proptest::prelude::*;
+
+fn var_name() -> impl Strategy<Value = String> {
+    "[A-Z][a-z0-9]{0,5}".prop_filter("no keyword collision", |s| {
+        // None of ours collide (keywords are lowercase), but keep the
+        // filter explicit.
+        !matches!(s.as_str(), "")
+    })
+}
+
+fn rel_name() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9_]{0,6}".prop_filter("not a literal keyword or fn", |s| {
+        s != "true" && s != "false" && !s.starts_with("f_")
+    })
+}
+
+fn fn_name() -> impl Strategy<Value = String> {
+    "f_[a-z][a-zA-Z0-9]{0,5}".prop_map(|s| s)
+}
+
+fn constant() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        "[a-z0-9 ]{0,8}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        var_name().prop_map(Term::Var),
+        constant().prop_map(Term::Const),
+    ]
+}
+
+fn atom() -> impl Strategy<Value = Atom> {
+    (rel_name(), proptest::collection::vec(term(), 1..5)).prop_map(|(rel, args)| Atom { rel, args })
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        var_name().prop_map(Expr::Var),
+        constant().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div)
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::BinOp(op, Box::new(l), Box::new(r))),
+            (fn_name(), proptest::collection::vec(inner, 1..3))
+                .prop_map(|(name, args)| Expr::Call(name, args)),
+        ]
+    })
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn body_item() -> impl Strategy<Value = BodyItem> {
+    prop_oneof![
+        atom().prop_map(BodyItem::Atom),
+        (expr(), cmp_op(), expr()).prop_map(|(left, op, right)| BodyItem::Constraint {
+            left,
+            op,
+            right
+        }),
+        (var_name(), expr()).prop_map(|(var, expr)| BodyItem::Assign { var, expr }),
+    ]
+}
+
+fn rule(label_idx: usize) -> impl Strategy<Value = Rule> {
+    (atom(), proptest::collection::vec(body_item(), 1..5)).prop_map(move |(head, body)| Rule {
+        label: format!("r{label_idx}"),
+        head,
+        body,
+    })
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    (1usize..5)
+        .prop_flat_map(|n| {
+            let rules: Vec<_> = (0..n).map(rule).collect();
+            rules
+        })
+        .prop_map(|rules| Program { rules })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Rendering a random program and parsing it back is the identity.
+    #[test]
+    fn display_parse_round_trip(p in program()) {
+        let text = p.to_string();
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("rendered program failed to parse: {e}\n{text}"));
+        prop_assert_eq!(p, reparsed);
+    }
+
+    /// The frontend is total: arbitrary input produces Ok or Err, never a
+    /// panic.
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,200}") {
+        let _ = parse_program(&s);
+    }
+
+    /// Arbitrary ASCII soup with NDlog-ish characters.
+    #[test]
+    fn parser_never_panics_on_ndlogish_soup(
+        s in "[a-zA-Z0-9_@(),.:=<>!+*/ \"\\\\-]{0,120}"
+    ) {
+        let _ = parse_program(&s);
+    }
+}

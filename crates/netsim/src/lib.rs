@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Discrete-event network simulator.
+//!
+//! This crate stands in for the paper's use of the ns-3 simulator: it
+//! provides simulated time, point-to-point links with latency and
+//! bandwidth, a message scheduler with per-link transmission queuing, and
+//! per-second traffic accounting. The topology generators reproduce the
+//! paper's evaluation setups: a GT-ITM-style transit-stub graph (packet
+//! forwarding, Section 6.1) and a hierarchical nameserver tree (DNS,
+//! Section 6.2).
+//!
+//! The simulator is generic over the message type `M`, so the declarative
+//! networking engine layers its tuples (and the provenance query engine its
+//! fetch requests) on top without this crate knowing about either.
+
+pub mod link;
+pub mod network;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod topo;
+
+pub use link::Link;
+pub use network::Network;
+pub use sim::Sim;
+pub use stats::TrafficStats;
+pub use time::SimTime;

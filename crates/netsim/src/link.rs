@@ -1,0 +1,85 @@
+//! Point-to-point links.
+
+use crate::time::SimTime;
+
+/// A bidirectional point-to-point link with propagation latency and
+/// transmission bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// One-way propagation latency.
+    pub latency: SimTime,
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+}
+
+impl Link {
+    /// Construct a link from latency and bandwidth.
+    pub const fn new(latency: SimTime, bandwidth_bps: u64) -> Link {
+        Link {
+            latency,
+            bandwidth_bps,
+        }
+    }
+
+    /// The paper's transit-transit links: 50 ms, 1 Gbps.
+    pub const TRANSIT_TRANSIT: Link = Link::new(SimTime::from_millis(50), 1_000_000_000);
+    /// The paper's transit-stub links: 10 ms, 100 Mbps.
+    pub const TRANSIT_STUB: Link = Link::new(SimTime::from_millis(10), 100_000_000);
+    /// The paper's stub-stub links: 2 ms, 50 Mbps.
+    pub const STUB_STUB: Link = Link::new(SimTime::from_millis(2), 50_000_000);
+
+    /// Time to serialize `bytes` onto the wire.
+    pub fn transmission_delay(&self, bytes: usize) -> SimTime {
+        assert!(self.bandwidth_bps > 0, "link has zero bandwidth");
+        let bits = bytes as u128 * 8;
+        let ns = bits * 1_000_000_000 / self.bandwidth_bps as u128;
+        SimTime::from_nanos(ns as u64)
+    }
+
+    /// Total one-message delay (transmission + propagation) on an idle link.
+    pub fn delay(&self, bytes: usize) -> SimTime {
+        self.transmission_delay(bytes) + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmission_delay_scales_with_size() {
+        let l = Link::new(SimTime::ZERO, 8_000_000_000); // 1 GB/s
+        assert_eq!(l.transmission_delay(1), SimTime::from_nanos(1));
+        assert_eq!(l.transmission_delay(1000), SimTime::from_nanos(1000));
+    }
+
+    #[test]
+    fn delay_includes_latency() {
+        let l = Link::new(SimTime::from_millis(2), 8_000); // 1 KB/s
+                                                           // 1000 bytes at 1 KB/s = 1 s transmission.
+        assert_eq!(
+            l.delay(1000),
+            SimTime::from_secs(1) + SimTime::from_millis(2)
+        );
+    }
+
+    #[test]
+    fn paper_link_presets() {
+        assert_eq!(Link::TRANSIT_TRANSIT.latency, SimTime::from_millis(50));
+        assert_eq!(Link::TRANSIT_TRANSIT.bandwidth_bps, 1_000_000_000);
+        assert_eq!(Link::TRANSIT_STUB.latency, SimTime::from_millis(10));
+        assert_eq!(Link::STUB_STUB.bandwidth_bps, 50_000_000);
+    }
+
+    #[test]
+    fn zero_bytes_is_pure_latency() {
+        let l = Link::STUB_STUB;
+        assert_eq!(l.delay(0), l.latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bandwidth")]
+    fn zero_bandwidth_panics() {
+        Link::new(SimTime::ZERO, 0).transmission_delay(1);
+    }
+}

@@ -1,0 +1,372 @@
+//! The network topology: nodes, links and shortest paths.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dpc_common::{Error, NodeId, Result};
+
+use crate::link::Link;
+use crate::time::SimTime;
+
+/// An undirected network of point-to-point links.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    /// adjacency list per node: (neighbor, link).
+    adj: Vec<Vec<(NodeId, Link)>>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Create a network with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Network {
+        Network {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        NodeId(self.adj.len() as u32 - 1)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// Add an undirected link between `a` and `b`.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, link: Link) -> Result<()> {
+        if a == b {
+            return Err(Error::Network(format!("self-link at {a}")));
+        }
+        self.check(a)?;
+        self.check(b)?;
+        if self.link(a, b).is_some() {
+            return Err(Error::Network(format!("duplicate link {a}-{b}")));
+        }
+        self.adj[a.index()].push((b, link));
+        self.adj[b.index()].push((a, link));
+        Ok(())
+    }
+
+    fn check(&self, n: NodeId) -> Result<()> {
+        if n.index() >= self.adj.len() {
+            return Err(Error::Network(format!("unknown node {n}")));
+        }
+        Ok(())
+    }
+
+    /// The link between two adjacent nodes, if any.
+    pub fn link(&self, a: NodeId, b: NodeId) -> Option<Link> {
+        self.adj
+            .get(a.index())?
+            .iter()
+            .find(|(n, _)| *n == b)
+            .map(|(_, l)| *l)
+    }
+
+    /// Neighbors of `n` with their links.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (NodeId, Link)> + '_ {
+        self.adj.get(n.index()).into_iter().flatten().copied()
+    }
+
+    /// Total number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Shortest path from `src` to `dst` minimizing hop count.
+    ///
+    /// Returns the node sequence including both endpoints, or an error if
+    /// disconnected. Used to install the paper's precomputed `route` tables.
+    pub fn path_by_hops(&self, src: NodeId, dst: NodeId) -> Result<Vec<NodeId>> {
+        self.shortest_path(src, dst, |_| 1)
+    }
+
+    /// Shortest path from `src` to `dst` minimizing summed link latency.
+    pub fn path_by_latency(&self, src: NodeId, dst: NodeId) -> Result<Vec<NodeId>> {
+        self.shortest_path(src, dst, |l| l.latency.as_nanos().max(1))
+    }
+
+    /// One-way latency along the latency-shortest path — the cost model for
+    /// the distributed provenance query (nodes talk to non-adjacent nodes
+    /// via network routing).
+    pub fn path_latency(&self, src: NodeId, dst: NodeId) -> Result<SimTime> {
+        if src == dst {
+            return Ok(SimTime::ZERO);
+        }
+        let path = self.path_by_latency(src, dst)?;
+        let mut total = SimTime::ZERO;
+        for w in path.windows(2) {
+            total += self
+                .link(w[0], w[1])
+                .expect("path consists of adjacent nodes")
+                .latency;
+        }
+        Ok(total)
+    }
+
+    /// The minimum bandwidth along the latency-shortest path, used to model
+    /// transfer time of multi-hop responses.
+    pub fn path_bottleneck_bps(&self, src: NodeId, dst: NodeId) -> Result<u64> {
+        if src == dst {
+            return Ok(u64::MAX);
+        }
+        let path = self.path_by_latency(src, dst)?;
+        Ok(path
+            .windows(2)
+            .map(|w| self.link(w[0], w[1]).expect("adjacent").bandwidth_bps)
+            .min()
+            .expect("path has at least one hop"))
+    }
+
+    fn shortest_path(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        cost: impl Fn(&Link) -> u64,
+    ) -> Result<Vec<NodeId>> {
+        self.check(src)?;
+        self.check(dst)?;
+        if src == dst {
+            return Ok(vec![src]);
+        }
+        let n = self.adj.len();
+        let mut dist = vec![u64::MAX; n];
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[src.index()] = 0;
+        heap.push(Reverse((0u64, src.0)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            let u = NodeId(u);
+            if d > dist[u.index()] {
+                continue;
+            }
+            if u == dst {
+                break;
+            }
+            for (v, link) in self.neighbors(u) {
+                let nd = d + cost(&link);
+                if nd < dist[v.index()] {
+                    dist[v.index()] = nd;
+                    prev[v.index()] = Some(u);
+                    heap.push(Reverse((nd, v.0)));
+                }
+            }
+        }
+        if dist[dst.index()] == u64::MAX {
+            return Err(Error::Network(format!("{src} and {dst} are disconnected")));
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while let Some(p) = prev[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], src);
+        Ok(path)
+    }
+
+    /// Render the topology in Graphviz dot format, labeling links with
+    /// their latency. Output is deterministic.
+    pub fn to_dot(&self, title: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "graph \"{title}\" {{").expect("write to String");
+        for n in self.nodes() {
+            writeln!(out, "  \"{n}\";").expect("write to String");
+        }
+        for a in self.nodes() {
+            let mut nbrs: Vec<(NodeId, Link)> = self.neighbors(a).collect();
+            nbrs.sort_by_key(|(m, _)| m.0);
+            for (b, link) in nbrs {
+                if a.0 < b.0 {
+                    writeln!(out, "  \"{a}\" -- \"{b}\" [label=\"{}\"];", link.latency)
+                        .expect("write to String");
+                }
+            }
+        }
+        writeln!(out, "}}").expect("write to String");
+        out
+    }
+
+    /// Graph diameter in hops (longest shortest path over all pairs).
+    /// O(V·E); intended for topology sanity checks, not hot paths.
+    pub fn diameter_hops(&self) -> usize {
+        let mut best = 0;
+        for s in self.nodes() {
+            let ecc = self.bfs_depths(s).into_iter().flatten().max().unwrap_or(0);
+            best = best.max(ecc);
+        }
+        best
+    }
+
+    /// Average shortest-path hop distance across all connected ordered
+    /// pairs.
+    pub fn average_distance_hops(&self) -> f64 {
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for s in self.nodes() {
+            for d in self.bfs_depths(s).into_iter().flatten() {
+                if d > 0 {
+                    total += d;
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        }
+    }
+
+    /// Is the network connected?
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        self.bfs_depths(NodeId(0)).iter().all(Option::is_some)
+    }
+
+    fn bfs_depths(&self, src: NodeId) -> Vec<Option<usize>> {
+        let mut depth = vec![None; self.adj.len()];
+        let mut queue = std::collections::VecDeque::new();
+        depth[src.index()] = Some(0);
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = depth[u.index()].expect("queued nodes have depth");
+            for (v, _) in self.neighbors(u) {
+                if depth[v.index()].is_none() {
+                    depth[v.index()] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A 4-node line with one slow long-cut: 0-1-2-3 plus a direct 0-3 link
+    /// with huge latency.
+    fn line_with_shortcut() -> Network {
+        let mut net = Network::with_nodes(4);
+        let fast = Link::new(SimTime::from_millis(1), 1_000_000);
+        let slow = Link::new(SimTime::from_millis(100), 1_000_000);
+        net.add_link(n(0), n(1), fast).unwrap();
+        net.add_link(n(1), n(2), fast).unwrap();
+        net.add_link(n(2), n(3), fast).unwrap();
+        net.add_link(n(0), n(3), slow).unwrap();
+        net
+    }
+
+    #[test]
+    fn add_and_query_links() {
+        let net = line_with_shortcut();
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.link_count(), 4);
+        assert!(net.link(n(0), n(1)).is_some());
+        assert!(net.link(n(1), n(0)).is_some());
+        assert!(net.link(n(0), n(2)).is_none());
+    }
+
+    #[test]
+    fn self_and_duplicate_links_rejected() {
+        let mut net = Network::with_nodes(2);
+        let l = Link::new(SimTime::ZERO, 1);
+        assert!(net.add_link(n(0), n(0), l).is_err());
+        net.add_link(n(0), n(1), l).unwrap();
+        assert!(net.add_link(n(1), n(0), l).is_err());
+        assert!(net.add_link(n(0), n(5), l).is_err());
+    }
+
+    #[test]
+    fn hop_path_prefers_fewer_hops() {
+        let net = line_with_shortcut();
+        assert_eq!(net.path_by_hops(n(0), n(3)).unwrap(), vec![n(0), n(3)]);
+    }
+
+    #[test]
+    fn latency_path_prefers_low_latency() {
+        let net = line_with_shortcut();
+        assert_eq!(
+            net.path_by_latency(n(0), n(3)).unwrap(),
+            vec![n(0), n(1), n(2), n(3)]
+        );
+        assert_eq!(
+            net.path_latency(n(0), n(3)).unwrap(),
+            SimTime::from_millis(3)
+        );
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let net = line_with_shortcut();
+        assert_eq!(net.path_by_hops(n(2), n(2)).unwrap(), vec![n(2)]);
+        assert_eq!(net.path_latency(n(2), n(2)).unwrap(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn disconnected_pair_errors() {
+        let mut net = Network::with_nodes(3);
+        net.add_link(n(0), n(1), Link::new(SimTime::ZERO, 1))
+            .unwrap();
+        assert!(net.path_by_hops(n(0), n(2)).is_err());
+        assert!(!net.is_connected());
+    }
+
+    #[test]
+    fn diameter_and_average_distance() {
+        let mut net = Network::with_nodes(4);
+        let l = Link::new(SimTime::from_millis(1), 1);
+        net.add_link(n(0), n(1), l).unwrap();
+        net.add_link(n(1), n(2), l).unwrap();
+        net.add_link(n(2), n(3), l).unwrap();
+        assert_eq!(net.diameter_hops(), 3);
+        // line of 4: distances 1,2,3,1,2,1 (each direction) -> avg 5/3? No:
+        // ordered pairs: 12 pairs, total = 2*(1+2+3+1+2+1)=20, avg=20/12.
+        assert!((net.average_distance_hops() - 20.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_export_lists_nodes_and_links() {
+        let net = line_with_shortcut();
+        let dot = net.to_dot("topo");
+        assert!(dot.contains("\"n0\";"));
+        assert!(dot.contains("\"n3\";"));
+        let link_lines = dot.lines().filter(|l| l.contains("--")).count();
+        assert_eq!(link_lines, net.link_count());
+        assert!(dot.contains("label=\"100.000ms\""));
+        assert_eq!(dot, line_with_shortcut().to_dot("topo"));
+    }
+
+    #[test]
+    fn bottleneck_bandwidth() {
+        let mut net = Network::with_nodes(3);
+        net.add_link(n(0), n(1), Link::new(SimTime::from_millis(1), 100))
+            .unwrap();
+        net.add_link(n(1), n(2), Link::new(SimTime::from_millis(1), 10))
+            .unwrap();
+        assert_eq!(net.path_bottleneck_bps(n(0), n(2)).unwrap(), 10);
+        assert_eq!(net.path_bottleneck_bps(n(1), n(1)).unwrap(), u64::MAX);
+    }
+}

@@ -1,0 +1,475 @@
+//! The discrete-event scheduler.
+//!
+//! [`Sim`] combines a [`Network`], a simulated clock, a priority queue of
+//! pending message deliveries, per-direction link serialization (a message
+//! must finish transmitting before the next one starts) and traffic
+//! accounting. It is generic over the message payload `M`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use dpc_common::{Error, NodeId, Result};
+
+use crate::network::Network;
+use crate::stats::TrafficStats;
+use crate::time::SimTime;
+
+/// A pending delivery.
+struct Pending<M> {
+    at: SimTime,
+    seq: u64,
+    dst: NodeId,
+    msg: M,
+}
+
+// Ordering for the heap: earliest time first, ties broken by insertion
+// sequence so delivery is deterministic and FIFO-per-link.
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Pending<M> {}
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A delivered message: when, to whom, and the payload.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// Simulated delivery time.
+    pub at: SimTime,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Deterministic per-link loss state: every `every`-th message on the
+/// directed link is dropped.
+#[derive(Debug, Clone)]
+struct Loss {
+    every: u64,
+    count: u64,
+}
+
+/// The discrete-event simulator.
+pub struct Sim<M> {
+    net: Network,
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Pending<M>>>,
+    /// Next instant each directed link is free to start transmitting.
+    link_free: HashMap<(NodeId, NodeId), SimTime>,
+    /// Fault injection (see [`Sim::inject_loss`]).
+    loss: HashMap<(NodeId, NodeId), Loss>,
+    dropped: u64,
+    stats: TrafficStats,
+}
+
+impl<M> Sim<M> {
+    /// Wrap a network in a simulator starting at time zero.
+    pub fn new(net: Network) -> Sim<M> {
+        Sim {
+            net,
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            link_free: HashMap::new(),
+            loss: HashMap::new(),
+            dropped: 0,
+            stats: TrafficStats::new(),
+        }
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access to the network (e.g. to add links mid-run).
+    pub fn net_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Mutable traffic statistics (e.g. to clear between phases).
+    pub fn stats_mut(&mut self) -> &mut TrafficStats {
+        &mut self.stats
+    }
+
+    /// Number of pending deliveries.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Inject deterministic loss on the directed link `src -> dst`: every
+    /// `every`-th message transmitted on it is silently dropped (the
+    /// bandwidth it consumed is still accounted — it was on the wire).
+    /// Used for failure-injection testing.
+    pub fn inject_loss(&mut self, src: NodeId, dst: NodeId, every: u64) {
+        assert!(every >= 1, "loss period must be at least 1");
+        self.loss.insert((src, dst), Loss { every, count: 0 });
+    }
+
+    /// Remove loss injection from a directed link.
+    pub fn clear_loss(&mut self, src: NodeId, dst: NodeId) {
+        self.loss.remove(&(src, dst));
+    }
+
+    /// Messages dropped by fault injection so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Does the fault injector claim the next message on this hop?
+    fn hop_drops(&mut self, src: NodeId, dst: NodeId) -> bool {
+        if let Some(l) = self.loss.get_mut(&(src, dst)) {
+            l.count += 1;
+            if l.count % l.every == 0 {
+                self.dropped += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Send `msg` of size `bytes` from `src` to adjacent `dst`.
+    ///
+    /// Delivery time accounts for propagation latency, transmission delay
+    /// and queueing behind earlier messages on the same directed link.
+    /// Returns the delivery time.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, bytes: usize, msg: M) -> Result<SimTime> {
+        let link = self
+            .net
+            .link(src, dst)
+            .ok_or_else(|| Error::Network(format!("no link {src}-{dst}")))?;
+        let free = self
+            .link_free
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+            .max(self.now);
+        let tx_done = free + link.transmission_delay(bytes);
+        self.link_free.insert((src, dst), tx_done);
+        let at = tx_done + link.latency;
+        self.stats.record(self.now, src, dst, bytes);
+        if !self.hop_drops(src, dst) {
+            self.push(at, dst, msg);
+        }
+        Ok(at)
+    }
+
+    /// Send `msg` from `src` to a possibly non-adjacent `dst`, hop by hop
+    /// along the latency-shortest path. Every traversed link carries the
+    /// message (and is charged in the traffic stats); per-direction link
+    /// queuing applies at each hop. If `src == dst` the message is
+    /// delivered locally with zero delay. Returns the delivery time.
+    pub fn send_routed(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        msg: M,
+    ) -> Result<SimTime> {
+        if src == dst {
+            let at = self.now;
+            self.push(at, dst, msg);
+            return Ok(at);
+        }
+        let path = self.net.path_by_latency(src, dst)?;
+        let mut t = self.now;
+        for w in path.windows(2) {
+            let link = self
+                .net
+                .link(w[0], w[1])
+                .expect("path consists of adjacent nodes");
+            let free = self
+                .link_free
+                .get(&(w[0], w[1]))
+                .copied()
+                .unwrap_or(SimTime::ZERO)
+                .max(t);
+            let tx_done = free + link.transmission_delay(bytes);
+            self.link_free.insert((w[0], w[1]), tx_done);
+            self.stats.record(t, w[0], w[1], bytes);
+            t = tx_done + link.latency;
+            if self.hop_drops(w[0], w[1]) {
+                // Lost en route: the hops so far carried it, nothing is
+                // delivered. The returned time is the would-have-been
+                // arrival at the drop point.
+                return Ok(t);
+            }
+        }
+        self.push(t, dst, msg);
+        Ok(t)
+    }
+
+    /// Schedule a local event at `node` after `delay` (no network traffic).
+    pub fn schedule_local(&mut self, node: NodeId, delay: SimTime, msg: M) -> SimTime {
+        let at = self.now + delay;
+        self.push(at, node, msg);
+        at
+    }
+
+    /// Schedule an event at an absolute time (used by workload injectors).
+    /// Times in the past are clamped to `now`.
+    pub fn schedule_at(&mut self, node: NodeId, at: SimTime, msg: M) -> SimTime {
+        let at = at.max(self.now);
+        self.push(at, node, msg);
+        at
+    }
+
+    fn push(&mut self, at: SimTime, dst: NodeId, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Pending { at, seq, dst, msg }));
+    }
+
+    /// Pop the next delivery and advance the clock to it.
+    pub fn pop(&mut self) -> Option<Delivery<M>> {
+        let Reverse(p) = self.heap.pop()?;
+        debug_assert!(p.at >= self.now, "time went backwards");
+        self.now = p.at;
+        Some(Delivery {
+            at: p.at,
+            dst: p.dst,
+            msg: p.msg,
+        })
+    }
+
+    /// Pop the next delivery only if it occurs at or before `deadline`.
+    /// If none does, the clock advances to `deadline` and `None` returns.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<Delivery<M>> {
+        match self.heap.peek() {
+            Some(Reverse(p)) if p.at <= deadline => self.pop(),
+            _ => {
+                self.now = self.now.max(deadline);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Link;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn two_node_sim() -> Sim<&'static str> {
+        let mut net = Network::with_nodes(2);
+        // 1 ms latency, 8 Kbps => 1 byte takes 1 ms to transmit.
+        net.add_link(n(0), n(1), Link::new(SimTime::from_millis(1), 8_000))
+            .unwrap();
+        Sim::new(net)
+    }
+
+    #[test]
+    fn send_computes_delay() {
+        let mut sim = two_node_sim();
+        let at = sim.send(n(0), n(1), 1, "a").unwrap();
+        // 1 ms transmission + 1 ms latency.
+        assert_eq!(at, SimTime::from_millis(2));
+        let d = sim.pop().unwrap();
+        assert_eq!(d.dst, n(1));
+        assert_eq!(d.msg, "a");
+        assert_eq!(sim.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn link_serializes_back_to_back_sends() {
+        let mut sim = two_node_sim();
+        let a = sim.send(n(0), n(1), 1, "a").unwrap();
+        let b = sim.send(n(0), n(1), 1, "b").unwrap();
+        // Second message queues behind the first's transmission.
+        assert_eq!(a, SimTime::from_millis(2));
+        assert_eq!(b, SimTime::from_millis(3));
+        assert_eq!(sim.pop().unwrap().msg, "a");
+        assert_eq!(sim.pop().unwrap().msg, "b");
+    }
+
+    #[test]
+    fn opposite_directions_do_not_queue() {
+        let mut sim = two_node_sim();
+        let a = sim.send(n(0), n(1), 1, "a").unwrap();
+        let b = sim.send(n(1), n(0), 1, "b").unwrap();
+        assert_eq!(a, b, "directions are independent");
+    }
+
+    #[test]
+    fn send_requires_adjacency() {
+        let mut net = Network::with_nodes(3);
+        net.add_link(n(0), n(1), Link::new(SimTime::ZERO, 1_000))
+            .unwrap();
+        let mut sim: Sim<()> = Sim::new(net);
+        assert!(sim.send(n(0), n(2), 1, ()).is_err());
+    }
+
+    #[test]
+    fn deliveries_are_time_ordered() {
+        let mut sim = two_node_sim();
+        sim.schedule_local(n(0), SimTime::from_millis(5), "late");
+        sim.schedule_local(n(0), SimTime::from_millis(1), "early");
+        assert_eq!(sim.pop().unwrap().msg, "early");
+        assert_eq!(sim.pop().unwrap().msg, "late");
+        assert!(sim.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_preserve_insertion_order() {
+        let mut sim = two_node_sim();
+        for name in ["a", "b", "c"] {
+            sim.schedule_local(n(0), SimTime::from_millis(1), name);
+        }
+        assert_eq!(sim.pop().unwrap().msg, "a");
+        assert_eq!(sim.pop().unwrap().msg, "b");
+        assert_eq!(sim.pop().unwrap().msg, "c");
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut sim = two_node_sim();
+        sim.schedule_local(n(0), SimTime::from_millis(10), "x");
+        assert!(sim.pop_until(SimTime::from_millis(5)).is_none());
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+        let d = sim.pop_until(SimTime::from_millis(20)).unwrap();
+        assert_eq!(d.msg, "x");
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn schedule_at_clamps_past_times() {
+        let mut sim = two_node_sim();
+        sim.schedule_local(n(0), SimTime::from_millis(10), "first");
+        sim.pop().unwrap();
+        let at = sim.schedule_at(n(0), SimTime::from_millis(1), "past");
+        assert_eq!(at, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn send_routed_charges_every_hop() {
+        // 3-node line; routed send 0 -> 2 crosses both links.
+        let mut net = Network::with_nodes(3);
+        let l = Link::new(SimTime::from_millis(1), 8_000); // 1 B/ms
+        net.add_link(n(0), n(1), l).unwrap();
+        net.add_link(n(1), n(2), l).unwrap();
+        let mut sim = Sim::new(net);
+        let at = sim.send_routed(n(0), n(2), 1, "x").unwrap();
+        // Per hop: 1 ms tx + 1 ms latency; two hops.
+        assert_eq!(at, SimTime::from_millis(4));
+        assert_eq!(sim.stats().link_bytes(n(0), n(1)), 1);
+        assert_eq!(sim.stats().link_bytes(n(1), n(2)), 1);
+        assert_eq!(sim.stats().total_bytes(), 2);
+        let d = sim.pop().unwrap();
+        assert_eq!(d.dst, n(2));
+    }
+
+    #[test]
+    fn send_routed_to_self_is_immediate_and_free() {
+        let mut sim = two_node_sim();
+        let at = sim.send_routed(n(0), n(0), 100, "x").unwrap();
+        assert_eq!(at, SimTime::ZERO);
+        assert_eq!(sim.stats().total_bytes(), 0);
+        assert_eq!(sim.pop().unwrap().dst, n(0));
+    }
+
+    #[test]
+    fn send_routed_disconnected_errors() {
+        let net = Network::with_nodes(2); // no links
+        let mut sim: Sim<()> = Sim::new(net);
+        assert!(sim.send_routed(n(0), n(1), 1, ()).is_err());
+    }
+
+    #[test]
+    fn traffic_is_recorded() {
+        let mut sim = two_node_sim();
+        sim.send(n(0), n(1), 100, "a").unwrap();
+        sim.send(n(0), n(1), 50, "b").unwrap();
+        assert_eq!(sim.stats().total_bytes(), 150);
+        assert_eq!(sim.stats().messages(), 2);
+        assert_eq!(sim.stats().link_bytes(n(0), n(1)), 150);
+    }
+
+    #[test]
+    fn loss_injection_drops_every_nth() {
+        let mut sim = two_node_sim();
+        sim.inject_loss(n(0), n(1), 3);
+        for name in ["a", "b", "c", "d", "e", "f"] {
+            sim.send(n(0), n(1), 1, name).unwrap();
+        }
+        let mut delivered = Vec::new();
+        while let Some(d) = sim.pop() {
+            delivered.push(d.msg);
+        }
+        // Every 3rd message ("c" and "f") is dropped.
+        assert_eq!(delivered, vec!["a", "b", "d", "e"]);
+        assert_eq!(sim.dropped(), 2);
+        // Bandwidth was still consumed by the dropped messages.
+        assert_eq!(sim.stats().messages(), 6);
+    }
+
+    #[test]
+    fn loss_is_per_direction() {
+        let mut sim = two_node_sim();
+        sim.inject_loss(n(0), n(1), 1); // drop everything 0 -> 1
+        sim.send(n(0), n(1), 1, "lost").unwrap();
+        sim.send(n(1), n(0), 1, "fine").unwrap();
+        assert_eq!(sim.pop().unwrap().msg, "fine");
+        assert!(sim.pop().is_none());
+        assert_eq!(sim.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_loss_restores_delivery() {
+        let mut sim = two_node_sim();
+        sim.inject_loss(n(0), n(1), 1);
+        sim.send(n(0), n(1), 1, "lost").unwrap();
+        sim.clear_loss(n(0), n(1));
+        sim.send(n(0), n(1), 1, "fine").unwrap();
+        assert_eq!(sim.pop().unwrap().msg, "fine");
+        assert!(sim.pop().is_none());
+    }
+
+    #[test]
+    fn routed_send_drops_mid_path() {
+        let mut net = Network::with_nodes(3);
+        let l = Link::new(SimTime::from_millis(1), 8_000);
+        net.add_link(n(0), n(1), l).unwrap();
+        net.add_link(n(1), n(2), l).unwrap();
+        let mut sim = Sim::new(net);
+        sim.inject_loss(n(1), n(2), 1);
+        sim.send_routed(n(0), n(2), 1, "lost").unwrap();
+        assert!(sim.pop().is_none());
+        // The first hop still carried the message.
+        assert_eq!(sim.stats().link_bytes(n(0), n(1)), 1);
+        assert_eq!(sim.stats().link_bytes(n(1), n(2)), 1);
+        assert_eq!(sim.dropped(), 1);
+    }
+
+    #[test]
+    fn local_scheduling_costs_no_traffic() {
+        let mut sim = two_node_sim();
+        sim.schedule_local(n(0), SimTime::from_millis(1), "x");
+        assert_eq!(sim.stats().total_bytes(), 0);
+    }
+}

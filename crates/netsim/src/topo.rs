@@ -1,0 +1,364 @@
+//! Topology generators.
+//!
+//! [`transit_stub`] reproduces the GT-ITM-style graph of the paper's packet
+//! forwarding evaluation (Section 6.1): 4 transit nodes, each attached to 3
+//! stub domains of 8 nodes — 100 nodes total — with the paper's per-class
+//! link latencies and bandwidths. [`tree`] builds the hierarchical
+//! nameserver topology of the DNS evaluation (Section 6.2). The small
+//! deterministic shapes ([`line()`], [`star()`], [`ring()`], [`complete()`]) serve
+//! tests and examples.
+
+use dpc_common::NodeId;
+use rand::Rng;
+
+use crate::link::Link;
+use crate::network::Network;
+use crate::time::SimTime;
+
+/// Parameters for [`transit_stub`].
+#[derive(Debug, Clone)]
+pub struct TransitStubParams {
+    /// Number of transit (backbone) nodes.
+    pub transit_nodes: usize,
+    /// Stub domains attached to each transit node.
+    pub stub_domains_per_transit: usize,
+    /// Nodes per stub domain.
+    pub stub_nodes_per_domain: usize,
+    /// Extra intra-domain edges beyond the spanning tree, per domain.
+    pub extra_stub_edges: usize,
+    /// Link class between transit nodes.
+    pub transit_transit: Link,
+    /// Link class between a transit node and a stub-domain gateway.
+    pub transit_stub: Link,
+    /// Link class inside stub domains.
+    pub stub_stub: Link,
+}
+
+impl Default for TransitStubParams {
+    /// The paper's configuration: 4 transit nodes × 3 domains × 8 stub
+    /// nodes = 100 nodes; 50 ms/1 Gbps, 10 ms/100 Mbps and 2 ms/50 Mbps
+    /// link classes.
+    fn default() -> Self {
+        TransitStubParams {
+            transit_nodes: 4,
+            stub_domains_per_transit: 3,
+            stub_nodes_per_domain: 8,
+            extra_stub_edges: 2,
+            transit_transit: Link::TRANSIT_TRANSIT,
+            transit_stub: Link::TRANSIT_STUB,
+            stub_stub: Link::STUB_STUB,
+        }
+    }
+}
+
+/// A generated transit-stub topology.
+#[derive(Debug, Clone)]
+pub struct TransitStub {
+    /// The network graph.
+    pub net: Network,
+    /// Transit (backbone) nodes.
+    pub transit: Vec<NodeId>,
+    /// Stub nodes, where traffic originates and terminates.
+    pub stub: Vec<NodeId>,
+}
+
+/// Generate a random transit-stub topology.
+pub fn transit_stub(rng: &mut impl Rng, params: &TransitStubParams) -> TransitStub {
+    let mut net = Network::new();
+    let mut transit = Vec::with_capacity(params.transit_nodes);
+    let mut stub = Vec::new();
+
+    for _ in 0..params.transit_nodes {
+        transit.push(net.add_node());
+    }
+    // Transit domain: complete graph (with 4 nodes this matches GT-ITM's
+    // densely connected backbone).
+    for i in 0..transit.len() {
+        for j in i + 1..transit.len() {
+            net.add_link(transit[i], transit[j], params.transit_transit)
+                .expect("fresh nodes, no duplicate links");
+        }
+    }
+
+    for &t in &transit {
+        for _ in 0..params.stub_domains_per_transit {
+            let mut domain = Vec::with_capacity(params.stub_nodes_per_domain);
+            for _ in 0..params.stub_nodes_per_domain {
+                let node = net.add_node();
+                // Random spanning tree inside the domain.
+                if let Some(&parent) = pick(rng, &domain) {
+                    net.add_link(node, parent, params.stub_stub)
+                        .expect("fresh node");
+                }
+                domain.push(node);
+                stub.push(node);
+            }
+            // A few chords to make the domain less tree-like.
+            let mut added = 0;
+            let mut attempts = 0;
+            while added < params.extra_stub_edges && attempts < 32 {
+                attempts += 1;
+                if domain.len() < 2 {
+                    break;
+                }
+                let a = domain[rng.random_range(0..domain.len())];
+                let b = domain[rng.random_range(0..domain.len())];
+                if a != b && net.link(a, b).is_none() {
+                    net.add_link(a, b, params.stub_stub).expect("checked");
+                    added += 1;
+                }
+            }
+            // Gateway: the domain's first node attaches to the transit node.
+            net.add_link(domain[0], t, params.transit_stub)
+                .expect("gateway link is fresh");
+        }
+    }
+
+    TransitStub { net, transit, stub }
+}
+
+fn pick<'a, T>(rng: &mut impl Rng, xs: &'a [T]) -> Option<&'a T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.random_range(0..xs.len())])
+    }
+}
+
+/// Parameters for [`tree`].
+#[derive(Debug, Clone)]
+pub struct TreeParams {
+    /// Total number of nodes (including the root).
+    pub nodes: usize,
+    /// Probability that a new node extends the most recently added chain
+    /// instead of attaching to a uniformly random node. Higher values make
+    /// deeper trees; the paper's DNS topology has 100 nodes and maximum
+    /// depth 27.
+    pub chain_bias: f64,
+    /// Link class for parent-child edges.
+    pub link: Link,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            nodes: 100,
+            chain_bias: 0.55,
+            link: Link::new(SimTime::from_millis(10), 100_000_000),
+        }
+    }
+}
+
+/// A generated rooted tree topology (DNS nameserver hierarchy).
+#[derive(Debug, Clone)]
+pub struct Tree {
+    /// The network graph.
+    pub net: Network,
+    /// The root node (always `NodeId(0)`).
+    pub root: NodeId,
+    /// Parent of each node; `parent[0]` is `None`.
+    pub parent: Vec<Option<NodeId>>,
+}
+
+impl Tree {
+    /// Depth of `node` (root has depth 0).
+    pub fn depth(&self, node: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent[cur.index()] {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Maximum depth over all nodes.
+    pub fn max_depth(&self) -> usize {
+        (0..self.parent.len())
+            .map(|i| self.depth(NodeId(i as u32)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Children of `node`, in id order.
+    pub fn children(&self, node: NodeId) -> Vec<NodeId> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p == Some(node))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+/// Generate a random rooted tree.
+pub fn tree(rng: &mut impl Rng, params: &TreeParams) -> Tree {
+    assert!(params.nodes >= 1, "tree needs at least a root");
+    let mut net = Network::new();
+    let root = net.add_node();
+    let mut parent: Vec<Option<NodeId>> = vec![None];
+    let mut last = root;
+    for _ in 1..params.nodes {
+        let node = net.add_node();
+        let p = if rng.random_bool(params.chain_bias.clamp(0.0, 1.0)) {
+            last
+        } else {
+            NodeId(rng.random_range(0..node.0))
+        };
+        net.add_link(node, p, params.link).expect("fresh node");
+        parent.push(Some(p));
+        last = node;
+    }
+    Tree { net, root, parent }
+}
+
+/// A line of `n` nodes: `0-1-2-...-(n-1)`.
+pub fn line(n: usize, link: Link) -> Network {
+    let mut net = Network::with_nodes(n);
+    for i in 1..n {
+        net.add_link(NodeId(i as u32 - 1), NodeId(i as u32), link)
+            .expect("line links are unique");
+    }
+    net
+}
+
+/// A star: node 0 is the hub.
+pub fn star(n: usize, link: Link) -> Network {
+    let mut net = Network::with_nodes(n);
+    for i in 1..n {
+        net.add_link(NodeId(0), NodeId(i as u32), link)
+            .expect("star links are unique");
+    }
+    net
+}
+
+/// A ring of `n >= 3` nodes.
+pub fn ring(n: usize, link: Link) -> Network {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let mut net = line(n, link);
+    net.add_link(NodeId(n as u32 - 1), NodeId(0), link)
+        .expect("closing edge is unique");
+    net
+}
+
+/// A complete graph on `n` nodes.
+pub fn complete(n: usize, link: Link) -> Network {
+    let mut net = Network::with_nodes(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            net.add_link(NodeId(i as u32), NodeId(j as u32), link)
+                .expect("complete-graph links are unique");
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transit_stub_default_matches_paper_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ts = transit_stub(&mut rng, &TransitStubParams::default());
+        assert_eq!(ts.net.node_count(), 100);
+        assert_eq!(ts.transit.len(), 4);
+        assert_eq!(ts.stub.len(), 96);
+        assert!(ts.net.is_connected());
+        // Paper: diameter 12, average distance 5.3 — ours should be in the
+        // same ballpark.
+        let diam = ts.net.diameter_hops();
+        assert!((6..=16).contains(&diam), "diameter {diam}");
+        let avg = ts.net.average_distance_hops();
+        assert!((3.0..=8.0).contains(&avg), "avg distance {avg}");
+    }
+
+    #[test]
+    fn transit_stub_is_deterministic_per_seed() {
+        let p = TransitStubParams::default();
+        let a = transit_stub(&mut StdRng::seed_from_u64(1), &p);
+        let b = transit_stub(&mut StdRng::seed_from_u64(1), &p);
+        assert_eq!(a.net.link_count(), b.net.link_count());
+        for n in a.net.nodes() {
+            let an: Vec<_> = a.net.neighbors(n).map(|(m, _)| m).collect();
+            let bn: Vec<_> = b.net.neighbors(n).map(|(m, _)| m).collect();
+            assert_eq!(an, bn);
+        }
+    }
+
+    #[test]
+    fn transit_links_use_right_classes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ts = transit_stub(&mut rng, &TransitStubParams::default());
+        let l = ts.net.link(ts.transit[0], ts.transit[1]).unwrap();
+        assert_eq!(l, Link::TRANSIT_TRANSIT);
+    }
+
+    #[test]
+    fn tree_default_matches_paper_shape() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = tree(&mut rng, &TreeParams::default());
+        assert_eq!(t.net.node_count(), 100);
+        assert!(t.net.is_connected());
+        let depth = t.max_depth();
+        // Paper: 100 nameservers, max depth 27. The generator should land
+        // in a deep-tree regime.
+        assert!((10..=60).contains(&depth), "depth {depth}");
+    }
+
+    #[test]
+    fn tree_parent_structure_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = tree(
+            &mut rng,
+            &TreeParams {
+                nodes: 30,
+                ..TreeParams::default()
+            },
+        );
+        assert_eq!(t.parent.len(), 30);
+        assert!(t.parent[0].is_none());
+        for i in 1..30 {
+            let p = t.parent[i].unwrap();
+            assert!(p.index() < i, "parents precede children");
+            assert!(t.net.link(NodeId(i as u32), p).is_some());
+        }
+        // Sum of children counts = n - 1.
+        let total: usize = (0..30).map(|i| t.children(NodeId(i as u32)).len()).sum();
+        assert_eq!(total, 29);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = tree(
+            &mut rng,
+            &TreeParams {
+                nodes: 1,
+                ..TreeParams::default()
+            },
+        );
+        assert_eq!(t.net.node_count(), 1);
+        assert_eq!(t.max_depth(), 0);
+    }
+
+    #[test]
+    fn simple_shapes() {
+        let l = Link::new(SimTime::from_millis(1), 1_000);
+        assert_eq!(line(5, l).link_count(), 4);
+        assert_eq!(star(5, l).link_count(), 4);
+        assert_eq!(ring(5, l).link_count(), 5);
+        assert_eq!(complete(5, l).link_count(), 10);
+        assert!(line(5, l).is_connected());
+        assert_eq!(line(5, l).diameter_hops(), 4);
+        assert_eq!(star(5, l).diameter_hops(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        ring(2, Link::new(SimTime::ZERO, 1));
+    }
+}

@@ -1,0 +1,147 @@
+//! Measurement helpers: CDFs, rates and unit conversions for the figure
+//! harnesses.
+
+use dpc_netsim::SimTime;
+
+/// An empirical cumulative distribution over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from raw samples (NaNs are rejected).
+    pub fn new(mut samples: Vec<f64>) -> Cdf {
+        assert!(
+            samples.iter().all(|s| !s.is_nan()),
+            "CDF samples must not contain NaN"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Is the CDF empty?
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&s| s <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 <= q <= 1), by nearest-rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        assert!(!self.sorted.is_empty(), "quantile of an empty CDF");
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        self.sorted[idx]
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// `(value, fraction)` points suitable for plotting/printing, one per
+    /// sample.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+}
+
+/// Convert a byte count over a duration to megabits per second — the unit
+/// of the paper's storage-growth figures.
+pub fn mbps(bytes: usize, duration: SimTime) -> f64 {
+    let secs = duration.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        bytes as f64 * 8.0 / 1_000_000.0 / secs
+    }
+}
+
+/// Convert bytes to megabytes.
+pub fn mb(bytes: usize) -> f64 {
+    bytes as f64 / 1_000_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_and_quantiles() {
+        let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.len(), 4);
+        assert!((c.fraction_at(2.0) - 0.5).abs() < 1e-12);
+        assert!((c.fraction_at(0.5) - 0.0).abs() < 1e-12);
+        assert!((c.fraction_at(10.0) - 1.0).abs() < 1e-12);
+        assert_eq!(c.median(), 2.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert_eq!(c.quantile(0.25), 1.0);
+        assert_eq!(c.max(), 4.0);
+        assert!((c.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let c = Cdf::new(vec![5.0, 1.0, 3.0]);
+        let pts = c.points();
+        assert_eq!(pts.len(), 3);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let c = Cdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at(1.0), 0.0);
+        assert_eq!(c.mean(), 0.0);
+        assert_eq!(c.max(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty CDF")]
+    fn quantile_of_empty_panics() {
+        Cdf::new(vec![]).quantile(0.5);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        // 1 MB over 8 seconds = 1 Mbps.
+        assert!((mbps(1_000_000, SimTime::from_secs(8)) - 1.0).abs() < 1e-12);
+        assert_eq!(mbps(100, SimTime::ZERO), 0.0);
+        assert!((mb(2_500_000) - 2.5).abs() < 1e-12);
+    }
+}

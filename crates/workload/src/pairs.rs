@@ -1,0 +1,82 @@
+//! Random communicating-pair selection.
+
+use dpc_common::NodeId;
+use rand::Rng;
+
+/// Select `k` distinct ordered `(source, destination)` pairs from
+/// `candidates`, with `source != destination`.
+///
+/// Panics if `candidates` has fewer than two nodes or cannot supply `k`
+/// distinct pairs.
+pub fn random_pairs(rng: &mut impl Rng, candidates: &[NodeId], k: usize) -> Vec<(NodeId, NodeId)> {
+    assert!(
+        candidates.len() >= 2,
+        "need at least two candidate nodes, got {}",
+        candidates.len()
+    );
+    let max_pairs = candidates.len() * (candidates.len() - 1);
+    assert!(
+        k <= max_pairs,
+        "cannot draw {k} distinct pairs from {} candidates",
+        candidates.len()
+    );
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let s = candidates[rng.random_range(0..candidates.len())];
+        let d = candidates[rng.random_range(0..candidates.len())];
+        if s != d && chosen.insert((s, d)) {
+            out.push((s, d));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn pairs_are_distinct_and_non_reflexive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ps = random_pairs(&mut rng, &nodes(20), 100);
+        assert_eq!(ps.len(), 100);
+        let set: std::collections::HashSet<_> = ps.iter().collect();
+        assert_eq!(set.len(), 100);
+        assert!(ps.iter().all(|(s, d)| s != d));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_pairs(&mut StdRng::seed_from_u64(7), &nodes(10), 5);
+        let b = random_pairs(&mut StdRng::seed_from_u64(7), &nodes(10), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausting_the_pair_space_works() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ps = random_pairs(&mut rng, &nodes(3), 6); // 3*2 = all pairs
+        assert_eq!(ps.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct pairs")]
+    fn too_many_pairs_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        random_pairs(&mut rng, &nodes(3), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_candidate_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        random_pairs(&mut rng, &nodes(1), 1);
+    }
+}

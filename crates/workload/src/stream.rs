@@ -1,0 +1,116 @@
+//! Fixed-rate event schedules.
+
+use dpc_netsim::SimTime;
+
+/// A fixed-rate schedule: `count` events at `rate` events/second starting
+/// at `start`, evenly spaced.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    start: SimTime,
+    interval: SimTime,
+    count: usize,
+}
+
+impl Schedule {
+    /// Events at `rate` per second for `duration`, starting at `start`.
+    pub fn per_second(start: SimTime, rate: f64, duration: SimTime) -> Schedule {
+        assert!(rate > 0.0, "rate must be positive");
+        let interval = SimTime::from_secs_f64(1.0 / rate);
+        let count = (duration.as_secs_f64() * rate).floor() as usize;
+        Schedule {
+            start,
+            interval,
+            count,
+        }
+    }
+
+    /// Exactly `count` events spaced by `interval`.
+    pub fn fixed(start: SimTime, interval: SimTime, count: usize) -> Schedule {
+        Schedule {
+            start,
+            interval,
+            count,
+        }
+    }
+
+    /// Number of events in the schedule.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Is the schedule empty?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The injection time of event `i`.
+    pub fn time_of(&self, i: usize) -> SimTime {
+        SimTime::from_nanos(self.start.as_nanos() + self.interval.as_nanos() * i as u64)
+    }
+
+    /// Iterate `(index, time)` over the schedule.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, SimTime)> + '_ {
+        (0..self.count).map(move |i| (i, self.time_of(i)))
+    }
+
+    /// Interleave the schedules of `n` independent sources round-robin,
+    /// giving the aggregate arrival sequence (used when several pairs share
+    /// one global rate).
+    pub fn round_robin(sources: usize, total: &Schedule) -> Vec<(usize, SimTime)> {
+        assert!(sources > 0, "need at least one source");
+        total.iter().map(|(i, t)| (i % sources, t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_second_spacing() {
+        let s = Schedule::per_second(SimTime::ZERO, 100.0, SimTime::from_secs(2));
+        assert_eq!(s.len(), 200);
+        assert_eq!(s.time_of(0), SimTime::ZERO);
+        assert_eq!(s.time_of(1), SimTime::from_millis(10));
+        assert_eq!(s.time_of(100), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn start_offset_applies() {
+        let s = Schedule::per_second(SimTime::from_secs(5), 10.0, SimTime::from_secs(1));
+        assert_eq!(s.time_of(0), SimTime::from_secs(5));
+        assert_eq!(
+            s.time_of(5),
+            SimTime::from_secs(5) + SimTime::from_millis(500)
+        );
+    }
+
+    #[test]
+    fn iter_yields_all_events() {
+        let s = Schedule::fixed(SimTime::ZERO, SimTime::from_millis(1), 5);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[4], (4, SimTime::from_millis(4)));
+    }
+
+    #[test]
+    fn round_robin_cycles_sources() {
+        let s = Schedule::fixed(SimTime::ZERO, SimTime::from_millis(1), 6);
+        let rr = Schedule::round_robin(3, &s);
+        let srcs: Vec<_> = rr.iter().map(|(i, _)| *i).collect();
+        assert_eq!(srcs, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::per_second(SimTime::ZERO, 10.0, SimTime::ZERO);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        Schedule::per_second(SimTime::ZERO, 0.0, SimTime::from_secs(1));
+    }
+}

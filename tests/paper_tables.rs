@@ -1,0 +1,194 @@
+//! Reproduces the paper's worked examples — Tables 1-4 — on the Figure 2
+//! deployment (three nodes in a line; the paper's n1,n2,n3 are our
+//! n0,n1,n2).
+
+use dpc::core::{advanced::advanced_rid, exspan::exspan_rid};
+use dpc::netsim::topo;
+use dpc::prelude::*;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+fn deploy<R: ProvRecorder>(rec: R) -> Runtime<R> {
+    let net = topo::line(3, Link::STUB_STUB);
+    let mut rt = forwarding::make_runtime(net, rec);
+    rt.install(forwarding::route(n(0), n(2), n(1))).unwrap();
+    rt.install(forwarding::route(n(1), n(2), n(2))).unwrap();
+    rt
+}
+
+fn pkt(loc: u32, payload: &str) -> Tuple {
+    forwarding::packet(n(loc), n(0), n(2), payload)
+}
+
+/// Table 1: the ExSPAN prov/ruleExec tables for Figure 3's tree.
+#[test]
+fn table1_exspan_layout() {
+    let mut rt = deploy(ExspanRecorder::new(3));
+    rt.inject(pkt(0, "data")).unwrap();
+    rt.run().unwrap();
+    let rec = rt.recorder();
+
+    // Six prov rows, matching Table 1 row for row.
+    // vid1 route(@n0,..), vid2 packet(@n0,..): base rows at n0.
+    for t in [forwarding::route(n(0), n(2), n(1)), pkt(0, "data")] {
+        let row = rec.prov_row(n(0), &t.vid()).expect("prov row exists");
+        assert_eq!(row.rid, None, "{t} is a base tuple");
+    }
+    // vid3 route(@n1,..) base; vid4 packet(@n1,..) derived by rid1@n0.
+    let p_mid = rec.prov_row(n(1), &pkt(1, "data").vid()).unwrap();
+    let rid1 = exspan_rid(
+        "r1",
+        n(0),
+        &[
+            pkt(0, "data").vid(),
+            forwarding::route(n(0), n(2), n(1)).vid(),
+        ],
+    );
+    assert_eq!(p_mid.rid, Some(rid1));
+    assert_eq!(p_mid.rloc, Some(n(0)));
+    // vid5 packet(@n2,..) derived by rid2@n1; vid6 recv derived by rid3@n2.
+    let rid2 = exspan_rid(
+        "r1",
+        n(1),
+        &[
+            pkt(1, "data").vid(),
+            forwarding::route(n(1), n(2), n(2)).vid(),
+        ],
+    );
+    let p_last = rec.prov_row(n(2), &pkt(2, "data").vid()).unwrap();
+    assert_eq!(p_last.rid, Some(rid2));
+    let recv = forwarding::recv(n(2), n(0), n(2), "data");
+    let rid3 = exspan_rid("r2", n(2), &[pkt(2, "data").vid()]);
+    let p_recv = rec.prov_row(n(2), &recv.vid()).unwrap();
+    assert_eq!(p_recv.rid, Some(rid3));
+    assert_eq!(p_recv.rloc, Some(n(2)));
+
+    // Three ruleExec rows: rid1@n0, rid2@n1, rid3@n2, with child vids.
+    let re1 = rec.rule_exec(n(0), &rid1).unwrap();
+    assert_eq!(re1.rule, "r1");
+    assert_eq!(re1.vids.len(), 2);
+    let re3 = rec.rule_exec(n(2), &rid3).unwrap();
+    assert_eq!(re3.rule, "r2");
+    assert_eq!(re3.vids, vec![pkt(2, "data").vid()]);
+}
+
+/// Table 2: the Basic layout — prov holds only the recv row; ruleExec
+/// rows chain via (NLoc, NRID) and drop intermediate event vids.
+#[test]
+fn table2_basic_layout() {
+    let mut rt = deploy(BasicRecorder::new(3));
+    rt.inject(pkt(0, "data")).unwrap();
+    rt.run().unwrap();
+    let rec = rt.recorder();
+
+    let recv = forwarding::recv(n(2), n(0), n(2), "data");
+    // prov: exactly the output row (one row in the whole network).
+    let totals: usize = (0..3).map(|i| rec.row_counts(n(i)).0).sum();
+    assert_eq!(totals, 1);
+    let pr = rec.prov_row(n(2), &recv.vid()).unwrap();
+
+    // The chain: rid3@n2 -> rid2@n1 -> rid1@n0 -> NULL.
+    let r3 = rec.rule_exec(pr.rloc.unwrap(), &pr.rid.unwrap()).unwrap();
+    assert_eq!((r3.rule.as_str(), r3.vids.len()), ("r2", 0));
+    let (l2, rid2) = r3.next.unwrap();
+    let r2 = rec.rule_exec(l2, &rid2).unwrap();
+    // Mid-chain rows hold only the slow vid (Table 2's rid2 row).
+    assert_eq!(r2.vids, vec![forwarding::route(n(1), n(2), n(2)).vid()]);
+    let (l1, rid1) = r2.next.unwrap();
+    let r1 = rec.rule_exec(l1, &rid1).unwrap();
+    assert_eq!(r1.next, None);
+    // The tail keeps (vid1, vid2): the input event and its route.
+    assert_eq!(r1.vids.len(), 2);
+    assert!(r1.vids.contains(&pkt(0, "data").vid()));
+    assert!(r1.vids.contains(&forwarding::route(n(0), n(2), n(1)).vid()));
+}
+
+/// Table 3: the Advanced layout after Figure 6's two packets — one shared
+/// ruleExec chain, two prov rows with distinct EVIDs referencing it.
+#[test]
+fn table3_advanced_layout() {
+    let keys = equivalence_keys(&programs::packet_forwarding());
+    let mut rt = deploy(AdvancedRecorder::new(3, keys));
+    rt.inject(pkt(0, "data")).unwrap();
+    rt.inject(pkt(0, "url")).unwrap();
+    rt.run().unwrap();
+    let rec = rt.recorder();
+
+    // ruleExec: exactly one row per node (the shared tree).
+    for i in 0..3 {
+        assert_eq!(rec.row_counts(n(i)).1, 1, "node n{i}");
+    }
+    // prov: two rows at n2, one per packet, with the packets' evids, both
+    // referencing the same (RLoc, RID).
+    assert_eq!(rec.row_counts(n(2)).0, 2);
+    let recv_d = forwarding::recv(n(2), n(0), n(2), "data");
+    let recv_u = forwarding::recv(n(2), n(0), n(2), "url");
+    let (vd, ed) = (recv_d.vid(), pkt(0, "data").evid());
+    let (vu, eu) = (recv_u.vid(), pkt(0, "url").evid());
+    let pd = rec.prov_row(n(2), &vd, &ed).unwrap();
+    let pu = rec.prov_row(n(2), &vu, &eu).unwrap();
+    assert_eq!((pd.rloc, pd.rid), (pu.rloc, pu.rid));
+    assert_ne!(pd.evid, pu.evid);
+
+    // Advanced rids hash rule + slow vids + chain (vids exclude events).
+    let rid_tail = advanced_rid("r1", &[forwarding::route(n(0), n(2), n(1)).vid()], None);
+    let v = rec.rule_exec(n(0), &rid_tail).expect("tail row exists");
+    assert_eq!(v.next, None);
+}
+
+/// Table 4: the inter-class split — a packet entering mid-path shares the
+/// concrete rule-execution nodes of the longer path's tree.
+#[test]
+fn table4_inter_class_layout() {
+    let keys = equivalence_keys(&programs::packet_forwarding());
+    let mut rt = deploy(AdvancedRecorder::with_inter_class(3, keys));
+    rt.inject(pkt(0, "data")).unwrap();
+    rt.run().unwrap();
+    // Section 5.4's example: packet(@n1, n1, n2, "ack") — enters at n1.
+    rt.inject(forwarding::packet(n(1), n(1), n(2), "ack"))
+        .unwrap();
+    rt.run().unwrap();
+    let rec = rt.recorder();
+
+    // n1: one concrete node (r1 with the same route tuple), two links.
+    assert_eq!(rec.node_row_count(n(1)), 1);
+    assert_eq!(rec.row_counts(n(1)).1, 2);
+    // n2: r2 has no slow tuples — shared concrete node, two links.
+    assert_eq!(rec.node_row_count(n(2)), 1);
+    assert_eq!(rec.row_counts(n(2)).1, 2);
+    // Both executions remain individually queryable.
+    let ctx = QueryCtx::from_runtime(&rt);
+    for out in rt.outputs() {
+        let res = query_advanced(&ctx, rt.recorder(), &out.tuple, &out.evid).unwrap();
+        assert_eq!(res.tree.output(), &out.tuple);
+    }
+}
+
+/// The worked example of Section 5.1: "data" and "url" packets produce
+/// equivalent trees; a packet with a different destination does not.
+#[test]
+fn section51_tree_equivalence() {
+    let mut rt = deploy(GroundTruthRecorder::new());
+    rt.install(forwarding::route(n(0), n(1), n(1))).unwrap();
+    rt.inject(pkt(0, "data")).unwrap();
+    rt.inject(pkt(0, "url")).unwrap();
+    rt.inject(forwarding::packet(n(0), n(0), n(1), "data"))
+        .unwrap();
+    rt.run().unwrap();
+    let trees = rt.recorder().trees();
+    assert_eq!(trees.len(), 3);
+    let tree_of = |ev: &Tuple| {
+        trees
+            .iter()
+            .find(|(_, e, _)| *e == ev.evid())
+            .map(|(_, _, t)| t)
+            .expect("tree recorded")
+    };
+    let data = tree_of(&pkt(0, "data"));
+    let url = tree_of(&pkt(0, "url"));
+    let short = tree_of(&forwarding::packet(n(0), n(0), n(1), "data"));
+    assert!(data.equivalent(url));
+    assert!(!data.equivalent(short));
+}
