@@ -7,7 +7,7 @@
 //! `f_isSubDomain` predicate checks label-boundary domain suffixes.
 
 use dpc_common::{Error, NodeId, Result, Tuple, Value};
-use dpc_engine::{ProvRecorder, Runtime};
+use dpc_engine::{NoopRecorder, ProvRecorder, Runtime, RuntimeBuilder};
 use dpc_ndlog::programs;
 use dpc_netsim::topo::Tree;
 
@@ -59,18 +59,29 @@ pub struct DnsDeployment {
     pub urls: Vec<(String, NodeId, String)>,
 }
 
+/// Start a DNS runtime builder over the tree's network, with
+/// `f_isSubDomain` pre-registered — chain `.recorder(..)`, `.config(..)`,
+/// `.interest(..)` before `.build()`.
+pub fn runtime_builder(tree: &Tree) -> RuntimeBuilder<NoopRecorder> {
+    Runtime::builder(programs::dns_resolution(), tree.net.clone()).register_fn(
+        "f_isSubDomain",
+        |args| {
+            let (Some(dm), Some(url)) = (args[0].as_str(), args[1].as_str()) else {
+                return Err(Error::Eval(
+                    "f_isSubDomain expects (domain, url) strings".into(),
+                ));
+            };
+            Ok(Value::Bool(is_sub_domain(dm, url)))
+        },
+    )
+}
+
 /// Create a DNS runtime over the tree's network.
 pub fn make_runtime<R: ProvRecorder>(tree: &Tree, recorder: R) -> Runtime<R> {
-    let mut rt = Runtime::new(programs::dns_resolution(), tree.net.clone(), recorder);
-    rt.register_fn("f_isSubDomain", |args| {
-        let (Some(dm), Some(url)) = (args[0].as_str(), args[1].as_str()) else {
-            return Err(Error::Eval(
-                "f_isSubDomain expects (domain, url) strings".into(),
-            ));
-        };
-        Ok(Value::Bool(is_sub_domain(dm, url)))
-    });
-    rt
+    runtime_builder(tree)
+        .recorder(recorder)
+        .build()
+        .expect("the DNS program needs no interest validation")
 }
 
 /// Deploy the nameserver hierarchy: delegations at every parent, one
@@ -142,13 +153,12 @@ pub fn deploy<R: ProvRecorder>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpc_common::SeededRng;
     use dpc_engine::NoopRecorder;
     use dpc_netsim::topo::{tree, TreeParams};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn small_tree() -> Tree {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SeededRng::seed_from_u64(5);
         tree(
             &mut rng,
             &TreeParams {

@@ -1,7 +1,7 @@
 //! Packet forwarding (Figure 1) deployment helpers.
 
 use dpc_common::{NodeId, Result, Tuple, Value};
-use dpc_engine::{ProvRecorder, Runtime};
+use dpc_engine::{ProvRecorder, Runtime, RuntimeBuilder};
 use dpc_ndlog::programs;
 use dpc_netsim::Network;
 
@@ -37,6 +37,12 @@ pub fn recv(loc: NodeId, src: NodeId, dst: NodeId, payload: impl Into<String>) -
             Value::Str(payload.into()),
         ],
     )
+}
+
+/// Start a forwarding runtime builder over `net` — chain `.recorder(..)`,
+/// `.config(..)` etc. before `.build()`.
+pub fn runtime_builder(net: Network) -> RuntimeBuilder<dpc_engine::NoopRecorder> {
+    Runtime::builder(programs::packet_forwarding(), net)
 }
 
 /// Create a forwarding runtime over `net` with the given recorder.
@@ -83,10 +89,9 @@ pub fn payload(seq: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpc_common::SeededRng;
     use dpc_engine::NoopRecorder;
     use dpc_netsim::{topo, Link};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn n(i: u32) -> NodeId {
         NodeId(i)
@@ -105,7 +110,7 @@ mod tests {
 
     #[test]
     fn pairs_forward_end_to_end_on_transit_stub() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SeededRng::seed_from_u64(42);
         let ts = topo::transit_stub(&mut rng, &topo::TransitStubParams::default());
         let (s, d) = (ts.stub[0], ts.stub[95]);
         let mut rt = make_runtime(ts.net, NoopRecorder);

@@ -1,34 +1,35 @@
-//! Criterion micro-benchmarks: compile-time static analysis (parsing,
-//! DELP validation, dependency-graph construction, `GetEquiKeys`) and the
+//! Micro-benchmarks: compile-time static analysis (parsing, DELP
+//! validation, dependency-graph construction, `GetEquiKeys`) and the
 //! per-event equivalence-key hashing of stage 1 — the O(1) check that
 //! replaces node-by-node tree comparison.
+//!
+//! Runs on the in-tree `dpc_bench::microbench` harness (offline builds
+//! carry no criterion); enable with `--features microbench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dpc_bench::microbench::Bench;
 use dpc_common::{NodeId, Tuple, Value};
 use dpc_ndlog::{equivalence_keys, parse_program, programs, Delp, DepGraph};
 use std::hint::black_box;
 
-fn bench_frontend(c: &mut Criterion) {
-    c.bench_function("parse_forwarding_program", |b| {
-        b.iter(|| parse_program(black_box(programs::PACKET_FORWARDING)).unwrap())
+fn main() {
+    let mut b = Bench::from_args();
+
+    b.bench("parse_forwarding_program", || {
+        parse_program(black_box(programs::PACKET_FORWARDING)).unwrap()
     });
-    c.bench_function("parse_dns_program", |b| {
-        b.iter(|| parse_program(black_box(programs::DNS_RESOLUTION)).unwrap())
+    b.bench("parse_dns_program", || {
+        parse_program(black_box(programs::DNS_RESOLUTION)).unwrap()
     });
     let prog = parse_program(programs::DNS_RESOLUTION).unwrap();
-    c.bench_function("validate_delp_dns", |b| {
-        b.iter(|| Delp::new(black_box(prog.clone())).unwrap())
+    b.bench("validate_delp_dns", || {
+        Delp::new(black_box(prog.clone())).unwrap()
     });
     let delp = programs::dns_resolution();
-    c.bench_function("dependency_graph_dns", |b| {
-        b.iter(|| DepGraph::build(black_box(&delp)))
+    b.bench("dependency_graph_dns", || DepGraph::build(black_box(&delp)));
+    b.bench("equivalence_keys_dns", || {
+        equivalence_keys(black_box(&delp))
     });
-    c.bench_function("equivalence_keys_dns", |b| {
-        b.iter(|| equivalence_keys(black_box(&delp)))
-    });
-}
 
-fn bench_key_check(c: &mut Criterion) {
     let keys = equivalence_keys(&programs::packet_forwarding());
     let pkt = Tuple::new(
         "packet",
@@ -40,28 +41,11 @@ fn bench_key_check(c: &mut Criterion) {
         ],
     );
     // Stage 1's O(1) key hash...
-    c.bench_function("equiv_key_hash", |b| {
-        b.iter(|| keys.hash(black_box(&pkt)).unwrap())
-    });
+    b.bench("equiv_key_hash", || keys.hash(black_box(&pkt)).unwrap());
     // ...vs the full-content hash it avoids re-deriving trees for.
-    c.bench_function("full_tuple_vid", |b| b.iter(|| black_box(&pkt).vid()));
-    c.bench_function("sha1_1k", |b| {
-        let data = vec![0xa5u8; 1024];
-        b.iter(|| dpc_common::sha1(black_box(&data)))
-    });
-}
+    b.bench("full_tuple_vid", || black_box(&pkt).vid());
+    let data = vec![0xa5u8; 1024];
+    b.bench("sha1_1k", || dpc_common::sha1(black_box(&data)));
 
-/// Short measurement windows: these benches gate CI-style runs, not
-/// microsecond-precision regressions.
-fn short() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(1200))
-        .sample_size(20)
+    b.finish();
 }
-criterion_group! {
-    name = benches;
-    config = short();
-    targets = bench_frontend, bench_key_check
-}
-criterion_main!(benches);

@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks: per-event provenance maintenance overhead
-//! of the recorders (the runtime cost the paper argues is negligible).
+//! Micro-benchmarks: per-event provenance maintenance overhead of the
+//! recorders (the runtime cost the paper argues is negligible).
+//!
+//! Runs on the in-tree `dpc_bench::microbench` harness; enable with
+//! `--features microbench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dpc_apps::forwarding;
+use dpc_bench::microbench::Bench;
 use dpc_common::NodeId;
 use dpc_core::{AdvancedRecorder, BasicRecorder, ExspanRecorder, GroundTruthRecorder};
 use dpc_engine::{NoopRecorder, ProvRecorder};
@@ -30,61 +33,26 @@ fn run_workload<R: ProvRecorder>(rec: R) -> usize {
     rt.outputs().len()
 }
 
-fn bench_maintenance(c: &mut Criterion) {
+fn main() {
     let keys = equivalence_keys(&programs::packet_forwarding());
-    let mut g = c.benchmark_group("maintenance_per_100_packets");
-    g.bench_function("none", |b| {
-        b.iter_batched(|| NoopRecorder, run_workload, BatchSize::SmallInput)
+    let mut b = Bench::from_args();
+    b.bench("maintenance_per_100_packets/none", || {
+        run_workload(NoopRecorder)
     });
-    g.bench_function("exspan", |b| {
-        b.iter_batched(
-            || ExspanRecorder::new(LINE),
-            run_workload,
-            BatchSize::SmallInput,
-        )
+    b.bench("maintenance_per_100_packets/exspan", || {
+        run_workload(ExspanRecorder::new(LINE))
     });
-    g.bench_function("basic", |b| {
-        b.iter_batched(
-            || BasicRecorder::new(LINE),
-            run_workload,
-            BatchSize::SmallInput,
-        )
+    b.bench("maintenance_per_100_packets/basic", || {
+        run_workload(BasicRecorder::new(LINE))
     });
-    g.bench_function("advanced", |b| {
-        b.iter_batched(
-            || AdvancedRecorder::new(LINE, keys.clone()),
-            run_workload,
-            BatchSize::SmallInput,
-        )
+    b.bench("maintenance_per_100_packets/advanced", || {
+        run_workload(AdvancedRecorder::new(LINE, keys.clone()))
     });
-    g.bench_function("advanced_interclass", |b| {
-        b.iter_batched(
-            || AdvancedRecorder::with_inter_class(LINE, keys.clone()),
-            run_workload,
-            BatchSize::SmallInput,
-        )
+    b.bench("maintenance_per_100_packets/advanced_interclass", || {
+        run_workload(AdvancedRecorder::with_inter_class(LINE, keys.clone()))
     });
-    g.bench_function("ground_truth", |b| {
-        b.iter_batched(
-            GroundTruthRecorder::new,
-            run_workload,
-            BatchSize::SmallInput,
-        )
+    b.bench("maintenance_per_100_packets/ground_truth", || {
+        run_workload(GroundTruthRecorder::new())
     });
-    g.finish();
+    b.finish();
 }
-
-/// Short measurement windows: these benches gate CI-style runs, not
-/// microsecond-precision regressions.
-fn short() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(1200))
-        .sample_size(20)
-}
-criterion_group! {
-    name = benches;
-    config = short();
-    targets = bench_maintenance
-}
-criterion_main!(benches);

@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks: wall-clock cost of executing provenance
-//! queries (table walks plus reconstruction), per scheme.
+//! Micro-benchmarks: wall-clock cost of executing provenance queries
+//! (table walks plus reconstruction), per scheme.
+//!
+//! Runs on the in-tree `dpc_bench::microbench` harness; enable with
+//! `--features microbench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dpc_apps::forwarding;
+use dpc_bench::microbench::Bench;
 use dpc_common::NodeId;
 use dpc_core::{
     query_advanced, query_basic, query_exspan, AdvancedRecorder, BasicRecorder, ExspanRecorder,
@@ -33,47 +36,43 @@ fn setup<R: ProvRecorder>(rec: R) -> Runtime<R> {
     rt
 }
 
-fn bench_queries(c: &mut Criterion) {
-    let mut g = c.benchmark_group("query_9hop_chain");
+fn main() {
+    let mut b = Bench::from_args();
 
     let rt = setup(ExspanRecorder::new(LINE));
     let out = rt.outputs()[7].clone();
     let ctx = QueryCtx::from_runtime(&rt);
-    g.bench_function("exspan", |b| {
-        b.iter(|| query_exspan(&ctx, rt.recorder(), black_box(&out.tuple)).unwrap())
+    b.bench("query_9hop_chain/exspan", || {
+        query_exspan(&ctx, rt.recorder(), black_box(&out.tuple)).unwrap()
     });
 
     let rt = setup(BasicRecorder::new(LINE));
     let out = rt.outputs()[7].clone();
     let ctx = QueryCtx::from_runtime(&rt);
-    g.bench_function("basic", |b| {
-        b.iter(|| query_basic(&ctx, rt.recorder(), black_box(&out.tuple)).unwrap())
+    b.bench("query_9hop_chain/basic", || {
+        query_basic(&ctx, rt.recorder(), black_box(&out.tuple)).unwrap()
     });
 
     let keys = equivalence_keys(&programs::packet_forwarding());
     let rt = setup(AdvancedRecorder::new(LINE, keys.clone()));
     let out = rt.outputs()[7].clone();
     let ctx = QueryCtx::from_runtime(&rt);
-    g.bench_function("advanced", |b| {
-        b.iter(|| query_advanced(&ctx, rt.recorder(), black_box(&out.tuple), &out.evid).unwrap())
+    b.bench("query_9hop_chain/advanced", || {
+        query_advanced(&ctx, rt.recorder(), black_box(&out.tuple), &out.evid).unwrap()
     });
 
     let rt = setup(AdvancedRecorder::with_inter_class(LINE, keys));
     let out = rt.outputs()[7].clone();
     let ctx = QueryCtx::from_runtime(&rt);
-    g.bench_function("advanced_interclass", |b| {
-        b.iter(|| query_advanced(&ctx, rt.recorder(), black_box(&out.tuple), &out.evid).unwrap())
+    b.bench("query_9hop_chain/advanced_interclass", || {
+        query_advanced(&ctx, rt.recorder(), black_box(&out.tuple), &out.evid).unwrap()
     });
-    g.finish();
-}
 
-/// Ablation: Basic's query-time re-derivation cost as the chain grows —
-/// the trade Section 4 makes to drop intermediate tuples from storage.
-fn bench_reconstruction_by_chain_length(c: &mut Criterion) {
+    // Ablation: Basic's query-time re-derivation cost as the chain grows —
+    // the trade Section 4 makes to drop intermediate tuples from storage.
     use dpc_core::reconstruct::{reconstruct, ChainLevel};
     let delp = programs::packet_forwarding();
     let fns = dpc_engine::FnRegistry::new();
-    let mut g = c.benchmark_group("reconstruct_chain");
     for hops in [2usize, 4, 8, 16] {
         // A chain of `hops` r1 levels plus the final r2.
         let mut chain = vec![ChainLevel {
@@ -96,24 +95,10 @@ fn bench_reconstruction_by_chain_length(c: &mut Criterion) {
             NodeId(hops as u32),
             forwarding::payload(0),
         );
-        g.bench_function(format!("{hops}_hops"), |b| {
-            b.iter(|| reconstruct(&delp, &fns, black_box(&chain), black_box(&event)).unwrap())
+        b.bench(&format!("reconstruct_chain/{hops}_hops"), || {
+            reconstruct(&delp, &fns, black_box(&chain), black_box(&event)).unwrap()
         });
     }
-    g.finish();
-}
 
-/// Short measurement windows: these benches gate CI-style runs, not
-/// microsecond-precision regressions.
-fn short() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(1200))
-        .sample_size(20)
+    b.finish();
 }
-criterion_group! {
-    name = benches;
-    config = short();
-    targets = bench_queries, bench_reconstruction_by_chain_length
-}
-criterion_main!(benches);

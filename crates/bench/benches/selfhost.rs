@@ -1,10 +1,13 @@
-//! Criterion ablation: native recorder hooks vs the self-hosted rewrite
-//! (Section 6's compile-time instrumentation path). The rewrite pays for
-//! hash recomputation in the language (`f_vid`/`f_arid` calls per rule
-//! firing) plus the extra provenance-rule evaluations.
+//! Ablation micro-benchmark: native recorder hooks vs the self-hosted
+//! rewrite (Section 6's compile-time instrumentation path). The rewrite
+//! pays for hash recomputation in the language (`f_vid`/`f_arid` calls
+//! per rule firing) plus the extra provenance-rule evaluations.
+//!
+//! Runs on the in-tree `dpc_bench::microbench` harness; enable with
+//! `--features microbench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dpc_apps::forwarding;
+use dpc_bench::microbench::Bench;
 use dpc_common::NodeId;
 use dpc_core::{
     extend_input_event_advanced, register_advanced_fns, register_provenance_fns, AdvancedRecorder,
@@ -65,27 +68,15 @@ fn run_self_hosted() -> usize {
         .count()
 }
 
-fn bench_selfhost(c: &mut Criterion) {
-    let mut g = c.benchmark_group("advanced_instrumentation_per_50_packets");
-    g.bench_function("native_recorder_hooks", |b| {
-        b.iter_batched(|| (), |()| run_native(), BatchSize::SmallInput)
-    });
-    g.bench_function("self_hosted_rewrite", |b| {
-        b.iter_batched(|| (), |()| run_self_hosted(), BatchSize::SmallInput)
-    });
-    g.finish();
+fn main() {
+    let mut b = Bench::from_args();
+    b.bench(
+        "advanced_instrumentation_per_50_packets/native_recorder_hooks",
+        run_native,
+    );
+    b.bench(
+        "advanced_instrumentation_per_50_packets/self_hosted_rewrite",
+        run_self_hosted,
+    );
+    b.finish();
 }
-
-/// Short measurement windows, like the other benches.
-fn short() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(1200))
-        .sample_size(20)
-}
-criterion_group! {
-    name = benches;
-    config = short();
-    targets = bench_selfhost
-}
-criterion_main!(benches);

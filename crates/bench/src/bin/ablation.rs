@@ -10,6 +10,7 @@ use dpc_core::AdvancedRecorder;
 use dpc_engine::ProvRecorder;
 use dpc_ndlog::{equivalence_keys, programs};
 use dpc_netsim::{topo, Link, SimTime};
+use dpc_telemetry::json::Json;
 
 /// The regime Section 5.4 targets: many sources converging on one
 /// destination along a line, so every tree shares the path suffix of the
@@ -39,6 +40,20 @@ fn convergecast(sources: usize) -> (usize, usize) {
     (out[0], out[1])
 }
 
+/// The `--json` record for one Advanced-vs-InterClass comparison.
+fn ablation_json(case: &str, plain: usize, inter: usize) -> Json {
+    Json::obj([
+        ("record", Json::Str("ablation".into())),
+        ("case", Json::Str(case.into())),
+        ("advanced_bytes", Json::UInt(plain as u64)),
+        ("inter_class_bytes", Json::UInt(inter as u64)),
+        (
+            "saving_pct",
+            Json::Float((1.0 - inter as f64 / plain as f64) * 100.0),
+        ),
+    ])
+}
+
 fn main() {
     let cli = Cli::parse();
 
@@ -55,17 +70,21 @@ fn main() {
     let inter = run_forwarding(Scheme::AdvancedInterClass, &fwd)
         .m
         .total_storage();
-    print_table(
-        "forwarding: Advanced vs +InterClass",
-        &[
-            ("Advanced (5.3) bytes", plain.to_string()),
-            ("Advanced+InterClass (5.4) bytes", inter.to_string()),
-            (
-                "inter-class saving",
-                format!("{:.1}%", (1.0 - inter as f64 / plain as f64) * 100.0),
-            ),
-        ],
-    );
+    if cli.json {
+        println!("{}", ablation_json("forwarding", plain, inter));
+    } else {
+        print_table(
+            "forwarding: Advanced vs +InterClass",
+            &[
+                ("Advanced (5.3) bytes", plain.to_string()),
+                ("Advanced+InterClass (5.4) bytes", inter.to_string()),
+                (
+                    "inter-class saving",
+                    format!("{:.1}%", (1.0 - inter as f64 / plain as f64) * 100.0),
+                ),
+            ],
+        );
+    }
 
     // DNS: every resolution shares the delegation chain prefix from the
     // root, so node sharing across classes is pervasive.
@@ -75,23 +94,31 @@ fn main() {
     };
     let plain = run_dns(Scheme::Advanced, &dns).m.total_storage();
     let inter = run_dns(Scheme::AdvancedInterClass, &dns).m.total_storage();
-    print_table(
-        "dns: Advanced vs +InterClass",
-        &[
-            ("Advanced (5.3) bytes", plain.to_string()),
-            ("Advanced+InterClass (5.4) bytes", inter.to_string()),
-            (
-                "inter-class saving",
-                format!("{:.1}%", (1.0 - inter as f64 / plain as f64) * 100.0),
-            ),
-        ],
-    );
+    if cli.json {
+        println!("{}", ablation_json("dns", plain, inter));
+    } else {
+        print_table(
+            "dns: Advanced vs +InterClass",
+            &[
+                ("Advanced (5.3) bytes", plain.to_string()),
+                ("Advanced+InterClass (5.4) bytes", inter.to_string()),
+                (
+                    "inter-class saving",
+                    format!("{:.1}%", (1.0 - inter as f64 / plain as f64) * 100.0),
+                ),
+            ],
+        );
+    }
 
     // The favorable regime: heavy cross-class node sharing (Section 5.4's
     // own example is a packet entering mid-path). With k sources converging
     // on one destination, plain Advanced stores O(k^2) chain rows while the
     // split shares the O(k) concrete nodes.
     let (plain, inter) = convergecast(20);
+    if cli.json {
+        println!("{}", ablation_json("convergecast", plain, inter));
+        return;
+    }
     print_table(
         "convergecast (20 sources -> 1 dest): Advanced vs +InterClass",
         &[

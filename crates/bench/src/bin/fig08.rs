@@ -5,7 +5,7 @@
 //! 30 Mbps); Advanced keeps every node under 2 Mbps — roughly an 11x
 //! mean reduction. Expect the same ordering and a similar gap here.
 
-use dpc_bench::{print_cdf, run_forwarding_schemes, Cli, FwdConfig, Scheme};
+use dpc_bench::{emit_run_json, print_cdf, run_forwarding_schemes, Cli, FwdConfig, Scheme};
 use dpc_workload::Cdf;
 
 fn main() {
@@ -21,6 +21,13 @@ fn main() {
             ..FwdConfig::default()
         }
     };
+    let runs = run_forwarding_schemes(&cfg, &Scheme::PAPER);
+    if cli.json {
+        for (scheme, out) in &runs {
+            emit_run_json("fig08", scheme.name(), &out.m);
+        }
+        return;
+    }
     println!(
         "Figure 8 — per-node storage growth CDF ({} pairs, {} pkt/s/pair, {}s)",
         cfg.pairs,
@@ -28,7 +35,7 @@ fn main() {
         cfg.duration.as_secs_f64()
     );
     let mut cdfs = Vec::new();
-    for (scheme, out) in run_forwarding_schemes(&cfg, &Scheme::PAPER) {
+    for (scheme, out) in runs {
         eprintln!(
             "  {}: {} outputs, total {:.2} MB",
             scheme.name(),

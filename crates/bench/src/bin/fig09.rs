@@ -5,7 +5,7 @@
 //! magnitude less for Advanced (10.3 MB/s). Expect the same linear shapes
 //! and a comparable ratio at the scaled workload.
 
-use dpc_bench::{print_series, run_forwarding_schemes, Cli, FwdConfig, Scheme};
+use dpc_bench::{emit_run_json, print_series, run_forwarding_schemes, Cli, FwdConfig, Scheme};
 
 fn main() {
     let cli = Cli::parse();
@@ -20,13 +20,20 @@ fn main() {
             ..FwdConfig::default()
         }
     };
+    let runs = run_forwarding_schemes(&cfg, &Scheme::PAPER);
+    if cli.json {
+        for (scheme, out) in &runs {
+            emit_run_json("fig09", scheme.name(), &out.m);
+        }
+        return;
+    }
     println!(
         "Figure 9 — total storage over time ({} pairs, {} pkt/s/pair)",
         cfg.pairs, cfg.rate_per_pair
     );
     let mut xs: Vec<f64> = Vec::new();
     let mut series = Vec::new();
-    for (scheme, out) in run_forwarding_schemes(&cfg, &Scheme::PAPER) {
+    for (scheme, out) in runs {
         if xs.is_empty() {
             xs = out.m.snapshots.iter().map(|(s, _)| *s as f64).collect();
         }

@@ -5,14 +5,17 @@
 //! tracks the packet count; Advanced grows with the pair count because
 //! each pair is one equivalence class, yet stays far below the other two.
 
-use dpc_bench::{print_series, run_forwarding, Cli, FwdConfig, Scheme};
+use dpc_bench::{emit_run_json_with, print_series, run_forwarding, Cli, FwdConfig, Scheme};
 use dpc_netsim::SimTime;
+use dpc_telemetry::json::Json;
 
 fn main() {
     let cli = Cli::parse();
     let total_packets = if cli.paper_scale { 2000 } else { 400 };
     let pair_counts: Vec<usize> = (1..=10).map(|k| k * 10).collect();
-    println!("Figure 10 — storage vs. communicating pairs ({total_packets} packets total)");
+    if !cli.json {
+        println!("Figure 10 — storage vs. communicating pairs ({total_packets} packets total)");
+    }
 
     let xs: Vec<f64> = pair_counts.iter().map(|&p| p as f64).collect();
     let mut series = Vec::new();
@@ -27,9 +30,20 @@ fn main() {
                 ..FwdConfig::default()
             };
             let out = run_forwarding(scheme, &cfg);
+            if cli.json {
+                emit_run_json_with(
+                    "fig10",
+                    scheme.name(),
+                    vec![("pairs", Json::UInt(pairs as u64))],
+                    &out.m,
+                );
+            }
             ys.push(dpc_workload::mb(out.m.total_storage()));
         }
         series.push((scheme.name(), ys));
+    }
+    if cli.json {
+        return;
     }
     print_series("total storage", "pairs", "MB", &xs, &series);
 }

@@ -6,8 +6,12 @@
 //! the per-packet metadata is negligible next to 500-byte payloads — and
 //! updating a route every 10 s adds only ~0.6%.
 
-use dpc_bench::{print_series, print_table, run_forwarding, Cli, FwdConfig, Scheme};
+use dpc_bench::{
+    emit_run_json, emit_run_json_with, print_series, print_table, run_forwarding, Cli, FwdConfig,
+    Scheme,
+};
 use dpc_netsim::SimTime;
+use dpc_telemetry::json::Json;
 
 fn main() {
     let cli = Cli::parse();
@@ -23,13 +27,18 @@ fn main() {
         duration,
         ..FwdConfig::default()
     };
-    println!("Figure 11 — bandwidth during forwarding ({pairs} pairs x {per_pair} packets)");
+    if !cli.json {
+        println!("Figure 11 — bandwidth during forwarding ({pairs} pairs x {per_pair} packets)");
+    }
 
     let mut xs: Vec<f64> = Vec::new();
     let mut series = Vec::new();
     let mut totals = Vec::new();
     for scheme in Scheme::PAPER {
         let out = run_forwarding(scheme, &base);
+        if cli.json {
+            emit_run_json("fig11", scheme.name(), &out.m);
+        }
         if xs.is_empty() {
             xs = (0..out.m.traffic_per_second.len())
                 .map(|s| s as f64)
@@ -44,7 +53,9 @@ fn main() {
         totals.push((scheme, out.m.total_traffic));
         series.push((scheme.name(), ys));
     }
-    print_series("bandwidth", "second", "MB/s", &xs, &series);
+    if !cli.json {
+        print_series("bandwidth", "second", "MB/s", &xs, &series);
+    }
 
     // The slow-table update variant (Advanced only, as in the paper).
     let with_updates = FwdConfig {
@@ -56,6 +67,15 @@ fn main() {
         ..base
     };
     let upd = run_forwarding(Scheme::Advanced, &with_updates);
+    if cli.json {
+        emit_run_json_with(
+            "fig11",
+            Scheme::Advanced.name(),
+            vec![("route_updates", Json::Bool(true))],
+            &upd.m,
+        );
+        return;
+    }
     let adv_total = totals
         .iter()
         .find(|(s, _)| *s == Scheme::Advanced)

@@ -8,6 +8,7 @@
 use dpc_bench::fwdrun::simulated_query_means;
 use dpc_bench::{forwarding_query_latencies, print_cdf, Cli, FwdConfig, Scheme};
 use dpc_netsim::SimTime;
+use dpc_telemetry::json::Json;
 use dpc_workload::Cdf;
 
 fn main() {
@@ -24,11 +25,36 @@ fn main() {
         duration: SimTime::from_secs(5),
         ..FwdConfig::default()
     };
-    println!("Figure 12 — query latency CDF ({queries} queries, {pairs} pairs)");
+    if !cli.json {
+        println!("Figure 12 — query latency CDF ({queries} queries, {pairs} pairs)");
+    }
     let mut cdfs = Vec::new();
     for scheme in Scheme::PAPER {
         let lat = forwarding_query_latencies(scheme, &cfg, queries);
+        if cli.json {
+            let line = Json::obj([
+                ("record", Json::Str("query_latency".into())),
+                ("figure", Json::Str("fig12".into())),
+                ("scheme", Json::Str(scheme.name().into())),
+                (
+                    "latencies_ms",
+                    Json::Arr(lat.iter().copied().map(Json::Float).collect()),
+                ),
+            ]);
+            println!("{line}");
+        }
         cdfs.push((scheme.name(), Cdf::new(lat)));
+    }
+    if cli.json {
+        let (sim_e, sim_a) = simulated_query_means(&cfg, queries.min(20));
+        let line = Json::obj([
+            ("record", Json::Str("simulated_query_means".into())),
+            ("figure", Json::Str("fig12".into())),
+            ("exspan_mean_ms", Json::Float(sim_e)),
+            ("advanced_mean_ms", Json::Float(sim_a)),
+        ]);
+        println!("{line}");
+        return;
     }
     let series: Vec<(&str, &Cdf)> = cdfs.iter().map(|(n, c)| (*n, c)).collect();
     print_cdf("provenance query latency", "ms", &series);

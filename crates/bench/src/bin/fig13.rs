@@ -5,7 +5,8 @@
 //! Advanced's 121 Kbps — about 4x (less than forwarding's 11x because the
 //! total event throughput is rated, spreading load over the tree).
 
-use dpc_bench::{print_cdf, run_dns_schemes, Cli, DnsConfig, Scheme};
+use dpc_bench::{emit_run_json_with, print_cdf, run_dns_schemes, Cli, DnsConfig, Scheme};
+use dpc_telemetry::json::Json;
 use dpc_workload::Cdf;
 
 fn main() {
@@ -18,12 +19,27 @@ fn main() {
             ..DnsConfig::default()
         }
     };
+    let runs = run_dns_schemes(&cfg, &Scheme::PAPER);
+    if cli.json {
+        for (scheme, out) in &runs {
+            emit_run_json_with(
+                "fig13",
+                scheme.name(),
+                vec![
+                    ("injected", Json::UInt(out.injected as u64)),
+                    ("resolved", Json::UInt(out.resolved as u64)),
+                ],
+                &out.m,
+            );
+        }
+        return;
+    }
     println!(
         "Figure 13 — per-nameserver storage growth CDF ({} servers, {} URLs, {} req/s)",
         cfg.servers, cfg.urls, cfg.rate
     );
     let mut cdfs = Vec::new();
-    for (scheme, out) in run_dns_schemes(&cfg, &Scheme::PAPER) {
+    for (scheme, out) in runs {
         eprintln!(
             "  {}: {}/{} resolved, total {:.2} MB",
             scheme.name(),

@@ -5,13 +5,16 @@
 //! Advanced grows ~11.6 Kb per URL (one shared tree per equivalence
 //! class) while remaining far below both.
 
-use dpc_bench::{print_series, run_dns, Cli, DnsConfig, Scheme};
+use dpc_bench::{emit_run_json_with, print_series, run_dns, Cli, DnsConfig, Scheme};
+use dpc_telemetry::json::Json;
 
 fn main() {
     let cli = Cli::parse();
     let total_requests = 200;
     let url_counts: Vec<usize> = (1..=8).map(|k| k * 10).collect();
-    println!("Figure 14 — DNS storage vs. URLs ({total_requests} requests total)");
+    if !cli.json {
+        println!("Figure 14 — DNS storage vs. URLs ({total_requests} requests total)");
+    }
 
     let xs: Vec<f64> = url_counts.iter().map(|&u| u as f64).collect();
     let mut series = Vec::new();
@@ -25,9 +28,20 @@ fn main() {
                 ..DnsConfig::default()
             };
             let out = run_dns(scheme, &cfg);
+            if cli.json {
+                emit_run_json_with(
+                    "fig14",
+                    scheme.name(),
+                    vec![("urls", Json::UInt(urls as u64))],
+                    &out.m,
+                );
+            }
             ys.push(dpc_workload::mb(out.m.total_storage()));
         }
         series.push((scheme.name(), ys));
+    }
+    if cli.json {
+        return;
     }
     print_series("total storage", "urls", "MB", &xs, &series);
 

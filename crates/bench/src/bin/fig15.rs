@@ -6,7 +6,7 @@
 //! metadata (existFlag, evid, equivalence-key hash) is a visible fraction
 //! of every message.
 
-use dpc_bench::{print_series, print_table, run_dns, Cli, DnsConfig, Scheme};
+use dpc_bench::{emit_run_json, print_series, print_table, run_dns, Cli, DnsConfig, Scheme};
 use dpc_netsim::SimTime;
 
 fn main() {
@@ -18,13 +18,18 @@ fn main() {
         duration: SimTime::from_secs(10),
         ..DnsConfig::default()
     };
-    println!("Figure 15 — DNS bandwidth ({total} requests)");
+    if !cli.json {
+        println!("Figure 15 — DNS bandwidth ({total} requests)");
+    }
 
     let mut xs: Vec<f64> = Vec::new();
     let mut series = Vec::new();
     let mut totals = Vec::new();
     for scheme in Scheme::PAPER {
         let out = run_dns(scheme, &cfg);
+        if cli.json {
+            emit_run_json("fig15", scheme.name(), &out.m);
+        }
         if xs.is_empty() {
             xs = (0..out.m.traffic_per_second.len())
                 .map(|s| s as f64)
@@ -38,6 +43,9 @@ fn main() {
             .collect();
         totals.push((scheme.name(), out.m.total_traffic));
         series.push((scheme.name(), ys));
+    }
+    if cli.json {
+        return;
     }
     print_series("bandwidth", "second", "MB/s", &xs, &series);
     let ex = totals[0].1 as f64;

@@ -5,7 +5,7 @@
 //! Basic / Advanced; at 100 s the totals reach 1.32 / 1.16 / 0.38 GB —
 //! Advanced roughly 3.5x below ExSPAN.
 
-use dpc_bench::{print_series, run_dns_schemes, Cli, DnsConfig, Scheme};
+use dpc_bench::{emit_run_json, print_series, run_dns_schemes, Cli, DnsConfig, Scheme};
 
 fn main() {
     let cli = Cli::parse();
@@ -17,6 +17,13 @@ fn main() {
             ..DnsConfig::default()
         }
     };
+    let runs = run_dns_schemes(&cfg, &Scheme::PAPER);
+    if cli.json {
+        for (scheme, out) in &runs {
+            emit_run_json("fig16", scheme.name(), &out.m);
+        }
+        return;
+    }
     println!(
         "Figure 16 — DNS storage over time ({} req/s for {}s)",
         cfg.rate,
@@ -24,7 +31,7 @@ fn main() {
     );
     let mut xs: Vec<f64> = Vec::new();
     let mut series = Vec::new();
-    for (scheme, out) in run_dns_schemes(&cfg, &Scheme::PAPER) {
+    for (scheme, out) in runs {
         if xs.is_empty() {
             xs = out.m.snapshots.iter().map(|(s, _)| *s as f64).collect();
         }

@@ -1,13 +1,12 @@
 //! The DNS resolution experiment runner (Figures 13-16).
 
 use dpc_common::NodeId;
-use dpc_core::{AdvancedRecorder, BasicRecorder, ExspanRecorder};
+use dpc_common::SeededRng;
 use dpc_engine::ProvRecorder;
-use dpc_ndlog::{equivalence_keys, programs};
+use dpc_ndlog::programs;
 use dpc_netsim::{topo, SimTime};
+use dpc_telemetry::Telemetry;
 use dpc_workload::Zipf;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use dpc_apps::dns;
 
@@ -76,22 +75,14 @@ pub struct DnsRunOutput {
     pub resolved: usize,
 }
 
-/// Run the DNS workload under `scheme`.
+/// Run the DNS workload under `scheme` via the [`Scheme::recorder`]
+/// factory.
 pub fn run_dns(scheme: Scheme, cfg: &DnsConfig) -> DnsRunOutput {
-    match scheme {
-        Scheme::Exspan => run_generic(cfg, ExspanRecorder::new),
-        Scheme::Basic => run_generic(cfg, BasicRecorder::new),
-        Scheme::Advanced => run_generic(cfg, |n| {
-            AdvancedRecorder::new(n, equivalence_keys(&programs::dns_resolution()))
-        }),
-        Scheme::AdvancedInterClass => run_generic(cfg, |n| {
-            AdvancedRecorder::with_inter_class(n, equivalence_keys(&programs::dns_resolution()))
-        }),
-    }
+    run_generic(cfg, |n| scheme.recorder(&programs::dns_resolution(), n))
 }
 
 fn run_generic<R: ProvRecorder>(cfg: &DnsConfig, make: impl FnOnce(usize) -> R) -> DnsRunOutput {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SeededRng::seed_from_u64(cfg.seed);
     let tree = topo::tree(
         &mut rng,
         &topo::TreeParams {
@@ -101,6 +92,9 @@ fn run_generic<R: ProvRecorder>(cfg: &DnsConfig, make: impl FnOnce(usize) -> R) 
     );
     let n = tree.net.node_count();
     let mut rt = dns::make_runtime(&tree, make(n));
+    let telemetry = Telemetry::handle();
+    telemetry.set_snapshot_every_nanos(cfg.snapshot_every.as_nanos());
+    rt.attach_telemetry(telemetry);
     // A single client (the root node's host role): equivalence classes are
     // then exactly the URLs, matching the paper's Figure 14 discussion.
     let client = tree.root;
@@ -143,8 +137,14 @@ fn run_generic<R: ProvRecorder>(cfg: &DnsConfig, make: impl FnOnce(usize) -> R) 
             snapshots,
             traffic_per_second: rt.stats().per_second_series(),
             total_traffic: rt.stats().total_bytes(),
+            per_link_bytes: rt.stats().per_link_totals(),
             outputs: rt.outputs().len(),
+            rules_fired: rt.rules_fired(),
             duration,
+            telemetry: rt
+                .telemetry()
+                .cloned()
+                .expect("run_generic always attaches telemetry"),
         },
         injected: total,
         resolved: rt.outputs().len(),

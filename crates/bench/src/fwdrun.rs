@@ -1,6 +1,7 @@
 //! The packet-forwarding experiment runner (Figures 8-12).
 
 use dpc_common::NodeId;
+use dpc_common::{Rng, SeededRng};
 use dpc_core::{
     query_advanced, query_basic, query_exspan, AdvancedRecorder, BasicRecorder, ExspanRecorder,
     QueryCtx,
@@ -8,10 +9,8 @@ use dpc_core::{
 use dpc_engine::{ProvRecorder, Runtime};
 use dpc_ndlog::{equivalence_keys, programs};
 use dpc_netsim::{topo, SimTime};
+use dpc_telemetry::Telemetry;
 use dpc_workload::random_pairs;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 use dpc_apps::forwarding;
 
@@ -88,18 +87,11 @@ fn payload_of(seq: u64, len: usize) -> String {
     s
 }
 
-/// Run the forwarding workload under `scheme`.
+/// Run the forwarding workload under `scheme`. The scheme-to-recorder
+/// mapping is [`Scheme::recorder`]; every scheme (including
+/// [`Scheme::Noop`]) runs through the same generic driver.
 pub fn run_forwarding(scheme: Scheme, cfg: &FwdConfig) -> FwdRunOutput {
-    match scheme {
-        Scheme::Exspan => run_generic(cfg, ExspanRecorder::new),
-        Scheme::Basic => run_generic(cfg, BasicRecorder::new),
-        Scheme::Advanced => run_generic(cfg, |n| {
-            AdvancedRecorder::new(n, equivalence_keys(&programs::packet_forwarding()))
-        }),
-        Scheme::AdvancedInterClass => run_generic(cfg, |n| {
-            AdvancedRecorder::with_inter_class(n, equivalence_keys(&programs::packet_forwarding()))
-        }),
-    }
+    run_generic(cfg, |n| scheme.recorder(&programs::packet_forwarding(), n))
 }
 
 fn run_generic<R: ProvRecorder>(cfg: &FwdConfig, make: impl FnOnce(usize) -> R) -> FwdRunOutput {
@@ -111,10 +103,13 @@ fn run_generic<R: ProvRecorder>(cfg: &FwdConfig, make: impl FnOnce(usize) -> R) 
 
 /// Build the topology, install routes, inject the whole schedule.
 fn prepare<R: ProvRecorder>(cfg: &FwdConfig, make: impl FnOnce(usize) -> R) -> (Runtime<R>, usize) {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SeededRng::seed_from_u64(cfg.seed);
     let ts = topo::transit_stub(&mut rng, &topo::TransitStubParams::default());
     let n = ts.net.node_count();
     let mut rt = forwarding::make_runtime(ts.net, make(n));
+    let telemetry = Telemetry::handle();
+    telemetry.set_snapshot_every_nanos(cfg.snapshot_every.as_nanos());
+    rt.attach_telemetry(telemetry);
     let pairs = random_pairs(&mut rng, &ts.stub, cfg.pairs);
     forwarding::install_routes_for_pairs(&mut rt, &pairs).expect("transit-stub is connected");
     rt.clear_stats();
@@ -160,7 +155,7 @@ fn prepare<R: ProvRecorder>(cfg: &FwdConfig, make: impl FnOnce(usize) -> R) -> (
         let mut t = every;
         let mut fake_dst = 10_000u32;
         while t < cfg.duration {
-            let at_node = ts.stub[rng.random_range_usize(ts.stub.len())];
+            let at_node = ts.stub[rng.random_range(0..ts.stub.len())];
             let neighbor = rt
                 .net()
                 .neighbors(at_node)
@@ -175,18 +170,6 @@ fn prepare<R: ProvRecorder>(cfg: &FwdConfig, make: impl FnOnce(usize) -> R) -> (
     }
 
     (rt, injected)
-}
-
-/// Tiny extension so the runner does not need the full `Rng` trait in its
-/// public signature.
-trait RangeExt {
-    fn random_range_usize(&mut self, n: usize) -> usize;
-}
-impl RangeExt for StdRng {
-    fn random_range_usize(&mut self, n: usize) -> usize {
-        use rand::Rng;
-        self.random_range(0..n)
-    }
 }
 
 /// Drive the run to completion, snapshotting storage along the way.
@@ -214,8 +197,14 @@ fn drive<R: ProvRecorder>(mut rt: Runtime<R>, cfg: &FwdConfig) -> (Runtime<R>, R
         snapshots,
         traffic_per_second: rt.stats().per_second_series(),
         total_traffic: rt.stats().total_bytes(),
+        per_link_bytes: rt.stats().per_link_totals(),
         outputs: rt.outputs().len(),
+        rules_fired: rt.rules_fired(),
         duration,
+        telemetry: rt
+            .telemetry()
+            .cloned()
+            .expect("prepare() always attaches telemetry"),
     };
     (rt, m)
 }
@@ -224,8 +213,9 @@ fn drive<R: ProvRecorder>(mut rt: Runtime<R>, cfg: &FwdConfig) -> (Runtime<R>, R
 /// provenance queries against random `recv` outputs and return their
 /// modeled latencies in milliseconds (Figure 12).
 pub fn forwarding_query_latencies(scheme: Scheme, cfg: &FwdConfig, queries: usize) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x51ab);
+    let mut rng = SeededRng::seed_from_u64(cfg.seed ^ 0x51ab);
     match scheme {
+        Scheme::Noop => panic!("the Noop scheme maintains no provenance to query"),
         Scheme::Exspan => {
             let (mut rt, _) = prepare(cfg, ExspanRecorder::new);
             rt.run().expect("drain");
@@ -285,7 +275,7 @@ pub fn forwarding_query_latencies(scheme: Scheme, cfg: &FwdConfig, queries: usiz
 /// `(exspan, advanced)`. Used by fig12 to cross-check the analytic model.
 pub fn simulated_query_means(cfg: &FwdConfig, queries: usize) -> (f64, f64) {
     use dpc_core::{simulate_query_advanced, simulate_query_exspan, QueryCostModel};
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xd15c);
+    let mut rng = SeededRng::seed_from_u64(cfg.seed ^ 0xd15c);
 
     let (mut rt_e, _) = prepare(cfg, ExspanRecorder::new);
     rt_e.run().expect("drain");
@@ -337,14 +327,14 @@ pub fn simulated_query_means(cfg: &FwdConfig, queries: usize) -> (f64, f64) {
 fn sample_outputs<R: ProvRecorder>(
     rt: &Runtime<R>,
     k: usize,
-    rng: &mut StdRng,
+    rng: &mut SeededRng,
 ) -> Vec<(dpc_common::Tuple, dpc_common::EvId)> {
     let mut outs: Vec<_> = rt
         .outputs()
         .iter()
         .map(|o| (o.tuple.clone(), o.evid))
         .collect();
-    outs.shuffle(rng);
+    rng.shuffle(&mut outs);
     outs.truncate(k);
     assert!(!outs.is_empty(), "workload produced no outputs to query");
     outs

@@ -10,9 +10,13 @@
 
 pub mod dnsrun;
 pub mod fwdrun;
+#[cfg(feature = "microbench")]
+pub mod microbench;
 pub mod report;
 
+use dpc_common::NodeId;
 use dpc_netsim::SimTime;
+use dpc_telemetry::TelemetryHandle;
 
 pub use dnsrun::{run_dns, DnsConfig, DnsRunOutput};
 pub use fwdrun::{
@@ -47,35 +51,14 @@ pub fn run_dns_schemes(cfg: &DnsConfig, schemes: &[Scheme]) -> Vec<(Scheme, DnsR
             .collect()
     })
 }
-pub use report::{print_cdf, print_series, print_table};
+pub use report::{
+    emit_run_json, emit_run_json_with, print_cdf, print_series, print_table, run_json,
+    run_json_with,
+};
 
-/// The provenance maintenance scheme under test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scheme {
-    /// Uncompressed ExSPAN baseline.
-    Exspan,
-    /// Section 4 storage optimization.
-    Basic,
-    /// Section 5.3 equivalence-based compression.
-    Advanced,
-    /// Section 5.3 + the Section 5.4 node/link split.
-    AdvancedInterClass,
-}
-
-impl Scheme {
-    /// The three schemes the paper's figures compare.
-    pub const PAPER: [Scheme; 3] = [Scheme::Exspan, Scheme::Basic, Scheme::Advanced];
-
-    /// Display name used in figure output.
-    pub fn name(self) -> &'static str {
-        match self {
-            Scheme::Exspan => "ExSPAN",
-            Scheme::Basic => "Basic",
-            Scheme::Advanced => "Advanced",
-            Scheme::AdvancedInterClass => "Advanced+InterClass",
-        }
-    }
-}
+// The scheme enum (and its boxed-recorder factory) lives in `dpc-core`;
+// the harness re-exports it so figure binaries keep a single import path.
+pub use dpc_core::Scheme;
 
 /// Shared storage/traffic measurements from one run.
 #[derive(Debug, Clone)]
@@ -88,10 +71,38 @@ pub struct RunMeasurements {
     pub traffic_per_second: Vec<u64>,
     /// Total bytes on the wire.
     pub total_traffic: u64,
+    /// Total bytes per (undirected) link, sorted by endpoint pair.
+    pub per_link_bytes: Vec<((NodeId, NodeId), u64)>,
     /// Output tuples derived.
     pub outputs: usize,
+    /// Rule firings across all nodes.
+    pub rules_fired: u64,
     /// Wall-clock span of the simulated run.
     pub duration: SimTime,
+    /// The run's telemetry registry (counters, snapshots, traces).
+    pub telemetry: TelemetryHandle,
+}
+
+impl RunMeasurements {
+    /// `htequi` equivalence-cache `(hits, misses)` over the run — nonzero
+    /// only under the Advanced schemes.
+    pub fn htequi_hits_misses(&self) -> (u64, u64) {
+        (
+            self.telemetry.counter_total("recorder.htequi_hits"),
+            self.telemetry.counter_total("recorder.htequi_misses"),
+        )
+    }
+
+    /// `htequi` hit rate in `[0, 1]`, or `None` when the scheme never
+    /// consulted the cache.
+    pub fn htequi_hit_rate(&self) -> Option<f64> {
+        let (h, m) = self.htequi_hits_misses();
+        if h + m == 0 {
+            None
+        } else {
+            Some(h as f64 / (h + m) as f64)
+        }
+    }
 }
 
 impl RunMeasurements {
@@ -118,6 +129,8 @@ pub struct Cli {
     pub paper_scale: bool,
     /// RNG seed for topology and workload.
     pub seed: u64,
+    /// Emit machine-readable JSON-lines records instead of plain text.
+    pub json: bool,
 }
 
 impl Default for Cli {
@@ -125,6 +138,7 @@ impl Default for Cli {
         Cli {
             paper_scale: false,
             seed: 42,
+            json: false,
         }
     }
 }
@@ -135,7 +149,7 @@ impl Cli {
         match Self::parse_from(std::env::args().skip(1)) {
             Ok(cli) => cli,
             Err(msg) => {
-                eprintln!("{msg}\nusage: [--paper-scale] [--seed <n>]");
+                eprintln!("{msg}\nusage: [--paper-scale] [--seed <n>] [--json]");
                 std::process::exit(2);
             }
         }
@@ -153,6 +167,7 @@ impl Cli {
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--paper-scale" => cli.paper_scale = true,
+                "--json" => cli.json = true,
                 "--seed" => {
                     cli.seed = args
                         .next()
@@ -182,6 +197,8 @@ mod tests {
         let cli = Cli::parse_from(["--paper-scale", "--seed", "7"]).unwrap();
         assert!(cli.paper_scale);
         assert_eq!(cli.seed, 7);
+        assert!(!cli.json);
+        assert!(Cli::parse_from(["--json"]).unwrap().json);
         assert!(Cli::parse_from(["--seed"]).is_err());
         assert!(Cli::parse_from(["--seed", "abc"]).is_err());
         assert!(Cli::parse_from(["--bogus"]).is_err());
@@ -223,8 +240,11 @@ mod tests {
             snapshots: vec![],
             traffic_per_second: vec![],
             total_traffic: 0,
+            per_link_bytes: vec![],
             outputs: 0,
+            rules_fired: 0,
             duration: SimTime::from_secs(8),
+            telemetry: dpc_telemetry::Telemetry::handle(),
         };
         assert_eq!(m.total_storage(), 3_000_000);
         let rates = m.growth_rates_mbps();

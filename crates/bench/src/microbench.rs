@@ -1,0 +1,108 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds offline with zero external dependencies, so the
+//! `benches/` targets (behind the non-default `microbench` feature,
+//! `harness = false`) measure with `std::time::Instant` instead of
+//! criterion. The protocol per benchmark: calibrate an iteration count
+//! that makes one sample take a measurable slice of time, take a fixed
+//! number of samples, and report median/min/max nanoseconds per
+//! iteration. These benches gate CI-style runs, not microsecond-precision
+//! regression tracking.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Samples per benchmark after calibration.
+const SAMPLES: usize = 12;
+/// Minimum wall time for one calibrated sample.
+const MIN_SAMPLE: Duration = Duration::from_millis(10);
+/// Warm-up budget before calibration counts.
+const WARM_UP: Duration = Duration::from_millis(100);
+
+/// A benchmark runner: parses CLI args (an optional substring filter;
+/// cargo's `--bench` flag is accepted and ignored) and prints one line
+/// per benchmark.
+pub struct Bench {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Bench {
+    /// Build from `std::env::args`.
+    pub fn from_args() -> Bench {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Bench { filter, ran: 0 }
+    }
+
+    /// Run one benchmark unless the name filter excludes it.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran += 1;
+
+        // Warm up.
+        let start = Instant::now();
+        while start.elapsed() < WARM_UP {
+            black_box(f());
+        }
+
+        // Calibrate: double the iteration count until one sample is long
+        // enough to measure reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            if t.elapsed() >= MIN_SAMPLE || iters >= 1 << 28 {
+                break;
+            }
+            iters *= 2;
+        }
+
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{name:<44} {:>12}/iter  (min {}, max {}, {iters} iters x {SAMPLES} samples)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+        );
+    }
+
+    /// Print a trailing summary; call at the end of `main`.
+    pub fn finish(self) {
+        if self.ran == 0 {
+            println!("no benchmarks matched the filter");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}

@@ -1,7 +1,102 @@
-//! Plain-text figure rendering: the harness binaries print the same
-//! series/rows the paper's figures plot.
+//! Figure rendering: plain-text series/rows matching the paper's plots,
+//! plus the JSON-lines records behind every binary's `--json` mode.
 
+use dpc_telemetry::json::Json;
 use dpc_workload::Cdf;
+
+use crate::RunMeasurements;
+
+/// The JSON-lines record summarizing one run: per-node storage, per-link
+/// traffic, rule firings and the `htequi` hit rate — the run-level fields
+/// the paper's figures are computed from.
+pub fn run_json(figure: &str, scheme: &str, m: &RunMeasurements) -> Json {
+    run_json_with(figure, scheme, Vec::new(), m)
+}
+
+/// [`run_json`] with extra workload parameters (e.g. the pair count a
+/// figure sweeps over) recorded under a `"params"` key.
+pub fn run_json_with(
+    figure: &str,
+    scheme: &str,
+    params: Vec<(&str, Json)>,
+    m: &RunMeasurements,
+) -> Json {
+    let (hits, misses) = m.htequi_hits_misses();
+    let mut fields = vec![
+        ("record", Json::Str("run".into())),
+        ("figure", Json::Str(figure.into())),
+        ("scheme", Json::Str(scheme.into())),
+    ];
+    if !params.is_empty() {
+        fields.push(("params", Json::obj(params)));
+    }
+    fields.extend([
+        (
+            "per_node_storage_bytes",
+            Json::Arr(
+                m.per_node_storage
+                    .iter()
+                    .map(|&b| Json::UInt(b as u64))
+                    .collect(),
+            ),
+        ),
+        (
+            "per_link_bytes",
+            Json::Arr(
+                m.per_link_bytes
+                    .iter()
+                    .map(|&((a, b), bytes)| {
+                        Json::obj([
+                            ("a", Json::UInt(a.0 as u64)),
+                            ("b", Json::UInt(b.0 as u64)),
+                            ("bytes", Json::UInt(bytes)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "storage_snapshots",
+            Json::Arr(
+                m.snapshots
+                    .iter()
+                    .map(|&(sec, bytes)| Json::Arr(vec![Json::UInt(sec), Json::UInt(bytes as u64)]))
+                    .collect(),
+            ),
+        ),
+        ("total_traffic_bytes", Json::UInt(m.total_traffic)),
+        ("outputs", Json::UInt(m.outputs as u64)),
+        ("rules_fired", Json::UInt(m.rules_fired)),
+        ("htequi_hits", Json::UInt(hits)),
+        ("htequi_misses", Json::UInt(misses)),
+        (
+            "htequi_hit_rate",
+            m.htequi_hit_rate().map_or(Json::Null, Json::Float),
+        ),
+        ("duration_secs", Json::Float(m.duration.as_secs_f64())),
+    ]);
+    Json::obj(fields)
+}
+
+/// Print the run record followed by the run's periodic telemetry
+/// snapshots, one JSON object per line.
+pub fn emit_run_json(figure: &str, scheme: &str, m: &RunMeasurements) {
+    emit_run_json_with(figure, scheme, Vec::new(), m);
+}
+
+/// [`emit_run_json`] with extra workload parameters.
+pub fn emit_run_json_with(
+    figure: &str,
+    scheme: &str,
+    params: Vec<(&str, Json)>,
+    m: &RunMeasurements,
+) {
+    println!("{}", run_json_with(figure, scheme, params, m));
+    let snaps = m.telemetry.to_json_lines();
+    if !snaps.is_empty() {
+        print!("{snaps}");
+    }
+}
 
 /// Print a CDF as `value fraction` rows under a header, at a fixed set of
 /// fractions plus summary statistics.
@@ -64,6 +159,28 @@ pub fn print_table(title: &str, rows: &[(&str, String)]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_json_schema() {
+        use dpc_common::NodeId;
+        use dpc_netsim::SimTime;
+        let m = RunMeasurements {
+            per_node_storage: vec![10, 20],
+            snapshots: vec![(1, 5), (2, 30)],
+            traffic_per_second: vec![3, 4],
+            total_traffic: 7,
+            per_link_bytes: vec![((NodeId(0), NodeId(1)), 7)],
+            outputs: 2,
+            rules_fired: 4,
+            duration: SimTime::from_secs(2),
+            telemetry: dpc_telemetry::Telemetry::handle(),
+        };
+        let line = run_json("fig08", "ExSPAN", &m).to_string();
+        assert_eq!(
+            line,
+            r#"{"record":"run","figure":"fig08","scheme":"ExSPAN","per_node_storage_bytes":[10,20],"per_link_bytes":[{"a":0,"b":1,"bytes":7}],"storage_snapshots":[[1,5],[2,30]],"total_traffic_bytes":7,"outputs":2,"rules_fired":4,"htequi_hits":0,"htequi_misses":0,"htequi_hit_rate":null,"duration_secs":2}"#
+        );
+    }
 
     #[test]
     fn printing_does_not_panic() {

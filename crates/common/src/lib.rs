@@ -20,12 +20,14 @@
 
 pub mod error;
 pub mod hash;
+pub mod rng;
 pub mod size;
 pub mod tuple;
 pub mod value;
 
 pub use error::{Error, Result};
 pub use hash::{sha1, Digest, EqKeyHash, EvId, Rid, Sha1, Vid};
+pub use rng::{Rng, SeededRng};
 pub use size::StorageSize;
 pub use tuple::{NodeId, RelName, Tuple};
 pub use value::Value;

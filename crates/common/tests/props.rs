@@ -1,93 +1,146 @@
-//! Property tests of the data model: canonical-encoding injectivity,
+//! Randomized tests of the data model: canonical-encoding injectivity,
 //! hash identity, and storage-size consistency over random tuples.
+//!
+//! Driven by the in-tree seeded PRNG (`dpc_common::rng`) — each case
+//! derives its own generator from a fixed base seed, so failures
+//! reproduce exactly.
 
-use dpc_common::{NodeId, StorageSize, Tuple, Value};
-use proptest::prelude::*;
+use dpc_common::{NodeId, Rng, SeededRng, StorageSize, Tuple, Value};
 
-fn value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (0u32..64).prop_map(|n| Value::Addr(NodeId(n))),
-        any::<i64>().prop_map(Value::Int),
-        "[ -~]{0,24}".prop_map(Value::Str), // printable ASCII incl. quotes
-        any::<bool>().prop_map(Value::Bool),
-    ]
+const CASES: u64 = 256;
+
+fn random_string(rng: &mut SeededRng, max_len: usize) -> String {
+    let len = rng.random_range(0..max_len as u64 + 1) as usize;
+    // Printable ASCII including quotes and backslashes.
+    (0..len)
+        .map(|_| (rng.random_range(0x20u32..0x7f) as u8) as char)
+        .collect()
 }
 
-fn tuple() -> impl Strategy<Value = Tuple> {
-    (
-        "[a-z][a-zA-Z0-9_]{0,10}",
-        proptest::collection::vec(value(), 0..6),
-    )
-        .prop_map(|(rel, args)| Tuple::new(rel, args))
+fn random_value(rng: &mut SeededRng) -> Value {
+    match rng.random_range(0..4u32) {
+        0 => Value::Addr(NodeId(rng.random_range(0..64u32))),
+        1 => Value::Int(rng.next_u64() as i64),
+        2 => Value::Str(random_string(rng, 24)),
+        _ => Value::Bool(rng.random_bool(0.5)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn random_rel(rng: &mut SeededRng) -> String {
+    let mut s = String::new();
+    s.push((b'a' + rng.random_range(0..26u32) as u8) as char);
+    let alphabet = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    for _ in 0..rng.random_range(0..11u64) {
+        s.push(alphabet[rng.random_range(0..alphabet.len())] as char);
+    }
+    s
+}
 
-    /// Equal tuples encode equally; unequal tuples encode differently
-    /// (the injectivity `vid` correctness rests on).
-    #[test]
-    fn encoding_is_injective(a in tuple(), b in tuple()) {
-        if a == b {
-            prop_assert_eq!(a.encode(), b.encode());
-            prop_assert_eq!(a.vid(), b.vid());
-            prop_assert_eq!(a.evid(), b.evid());
+fn random_tuple(rng: &mut SeededRng) -> Tuple {
+    let arity = rng.random_range(0..6u64) as usize;
+    let args: Vec<Value> = (0..arity).map(|_| random_value(rng)).collect();
+    Tuple::new(random_rel(rng), args)
+}
+
+/// Equal tuples encode equally; unequal tuples encode differently
+/// (the injectivity `vid` correctness rests on).
+#[test]
+fn encoding_is_injective() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x1000 + case);
+        let a = random_tuple(&mut rng);
+        // Half the cases compare against an identical clone, half against
+        // an independently drawn tuple.
+        let b = if case % 2 == 0 {
+            a.clone()
         } else {
-            prop_assert_ne!(a.encode(), b.encode());
+            random_tuple(&mut rng)
+        };
+        if a == b {
+            assert_eq!(a.encode(), b.encode());
+            assert_eq!(a.vid(), b.vid());
+            assert_eq!(a.evid(), b.evid());
+        } else {
+            assert_ne!(a.encode(), b.encode(), "{a} vs {b}");
         }
     }
+}
 
-    /// Encoding and hashing are deterministic.
-    #[test]
-    fn hashing_is_deterministic(t in tuple()) {
-        prop_assert_eq!(t.vid(), t.clone().vid());
-        prop_assert_eq!(t.encode(), t.clone().encode());
+/// Encoding and hashing are deterministic.
+#[test]
+fn hashing_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x2000 + case);
+        let t = random_tuple(&mut rng);
+        assert_eq!(t.vid(), t.clone().vid());
+        assert_eq!(t.encode(), t.clone().encode());
     }
+}
 
-    /// The vid and evid identifier spaces never collide.
-    #[test]
-    fn vid_and_evid_spaces_are_disjoint(a in tuple(), b in tuple()) {
-        prop_assert_ne!(a.vid().0, b.evid().0);
+/// The vid and evid identifier spaces never collide.
+#[test]
+fn vid_and_evid_spaces_are_disjoint() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x3000 + case);
+        let a = random_tuple(&mut rng);
+        let b = random_tuple(&mut rng);
+        assert_ne!(a.vid().0, b.evid().0);
+        assert_ne!(a.vid().0, a.evid().0);
     }
+}
 
-    /// The storage-size model is structural: a tuple's size is the fixed
-    /// framing plus its parts, and sizes are positive and deterministic.
-    #[test]
-    fn storage_size_is_structural(t in tuple()) {
+/// The storage-size model is structural: a tuple's size is the fixed
+/// framing plus its parts, and sizes are positive and deterministic.
+#[test]
+fn storage_size_is_structural() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x4000 + case);
+        let t = random_tuple(&mut rng);
         let parts: usize = t.args().iter().map(StorageSize::storage_size).sum();
-        prop_assert_eq!(t.storage_size(), 4 + t.rel().len() + 4 + parts);
-        prop_assert!(t.storage_size() >= 8);
+        assert_eq!(t.storage_size(), 4 + t.rel().len() + 4 + parts);
+        assert!(t.storage_size() >= 8);
     }
+}
 
-    /// Display output parses back to something stable (no panics) and
-    /// always carries the `@` location marker.
-    #[test]
-    fn display_is_stable(t in tuple()) {
+/// Display output is stable across calls and always carries the `@`
+/// location marker.
+#[test]
+fn display_is_stable() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x5000 + case);
+        let t = random_tuple(&mut rng);
         let s1 = t.to_string();
         let s2 = t.to_string();
-        prop_assert_eq!(&s1, &s2);
+        assert_eq!(s1, s2);
         if t.arity() > 0 {
-            prop_assert!(s1.contains('@'));
+            assert!(s1.contains('@'), "{s1}");
         }
     }
+}
 
-    /// SHA-1 streaming equals one-shot for arbitrary splits.
-    #[test]
-    fn sha1_streaming_matches_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..512),
-        split in 0usize..512,
-    ) {
-        let split = split.min(data.len());
+/// SHA-1 streaming equals one-shot for arbitrary splits.
+#[test]
+fn sha1_streaming_matches_oneshot() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x6000 + case);
+        let len = rng.random_range(0..512u64) as usize;
+        let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let split = rng.random_range(0..len as u64 + 1) as usize;
         let mut h = dpc_common::Sha1::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finish(), dpc_common::sha1(&data));
+        assert_eq!(h.finish(), dpc_common::sha1(&data));
     }
+}
 
-    /// Digest hex round trips.
-    #[test]
-    fn digest_hex_round_trips(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+/// Digest hex round trips.
+#[test]
+fn digest_hex_round_trips() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x7000 + case);
+        let len = rng.random_range(0..64u64) as usize;
+        let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let d = dpc_common::sha1(&data);
-        prop_assert_eq!(dpc_common::Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(dpc_common::Digest::from_hex(&d.to_hex()), Some(d));
     }
 }

@@ -28,6 +28,7 @@ use std::collections::{HashMap, HashSet};
 use dpc_common::{EqKeyHash, EvId, NodeId, Rid, Sha1, Tuple, Vid};
 use dpc_engine::{ProvMeta, ProvRecorder, Stage};
 use dpc_ndlog::{EquivKeys, Rule};
+use dpc_telemetry::TelemetryHandle;
 
 use crate::storage::{
     InterClassTables, ProvRowAdv, ProvTableAdv, RuleExecRow, RuleExecTable, RuleExecView,
@@ -90,6 +91,7 @@ pub struct AdvancedRecorder {
     nodes: Vec<Node>,
     inter_class: bool,
     hmap_misses: u64,
+    telemetry: Option<TelemetryHandle>,
 }
 
 impl AdvancedRecorder {
@@ -119,7 +121,21 @@ impl AdvancedRecorder {
                 .collect(),
             inter_class,
             hmap_misses: 0,
+            telemetry: None,
         }
+    }
+
+    /// Push the per-table gauges for `node` to the attached telemetry.
+    fn report_tables(&self, node: NodeId) {
+        let Some(t) = &self.telemetry else { return };
+        let (prov, re) = self.row_counts(node);
+        t.gauge("recorder.prov_rows", Some(node.0), prov as i64);
+        t.gauge("recorder.rule_exec_rows", Some(node.0), re as i64);
+        t.gauge(
+            "recorder.storage_bytes",
+            Some(node.0),
+            self.storage_at(node) as i64,
+        );
     }
 
     /// The equivalence keys in use.
@@ -249,6 +265,14 @@ impl ProvRecorder for AdvancedRecorder {
         meta.exist_flag = !fresh;
         meta.eq_hash = Some(kh);
         meta.wire_bytes = ADVANCED_META_BYTES;
+        if let Some(t) = &self.telemetry {
+            let name = if fresh {
+                "recorder.htequi_misses"
+            } else {
+                "recorder.htequi_hits"
+            };
+            t.count(name, Some(node.0), 1);
+        }
     }
 
     fn on_rule(
@@ -277,13 +301,24 @@ impl ProvRecorder for AdvancedRecorder {
             vids: slow_vids.clone(),
             next: meta.prev,
         };
-        let state = &mut self.nodes[node.index()];
         if self.inter_class {
             let nrid = node_rid(&rule.label, &slow_vids);
-            state.inter.insert(nrid, row, rid, meta.prev);
+            let saved = self.nodes[node.index()]
+                .inter
+                .insert(nrid, row, rid, meta.prev);
+            if saved > 0 {
+                if let Some(t) = &self.telemetry {
+                    t.count(
+                        "recorder.interclass_saved_bytes",
+                        Some(node.0),
+                        saved as u64,
+                    );
+                }
+            }
         } else {
-            state.rule_exec.insert(row);
+            self.nodes[node.index()].rule_exec.insert(row);
         }
+        self.report_tables(node);
         out.prev = Some((node, rid));
         out
     }
@@ -332,6 +367,7 @@ impl ProvRecorder for AdvancedRecorder {
                 evid,
             });
         }
+        self.report_tables(node);
     }
 
     fn on_sig(&mut self, node: NodeId) {
@@ -348,6 +384,10 @@ impl ProvRecorder for AdvancedRecorder {
             n.rule_exec.bytes()
         };
         n.prov.bytes() + re
+    }
+
+    fn attach_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = Some(telemetry);
     }
 }
 

@@ -10,6 +10,7 @@
 use dpc_common::{NodeId, Rid, Tuple, Vid};
 use dpc_engine::{ProvMeta, ProvRecorder, Stage};
 use dpc_ndlog::Rule;
+use dpc_telemetry::TelemetryHandle;
 
 use crate::exspan::exspan_rid;
 use crate::storage::{ProvRow, ProvTable, RuleExecRow, RuleExecTable};
@@ -29,6 +30,7 @@ struct Node {
 #[derive(Debug)]
 pub struct BasicRecorder {
     nodes: Vec<Node>,
+    telemetry: Option<TelemetryHandle>,
 }
 
 impl BasicRecorder {
@@ -41,7 +43,21 @@ impl BasicRecorder {
                     rule_exec: RuleExecTable::new(true),
                 })
                 .collect(),
+            telemetry: None,
         }
+    }
+
+    /// Push the per-table gauges for `node` to the attached telemetry.
+    fn report_tables(&self, node: NodeId) {
+        let Some(t) = &self.telemetry else { return };
+        let (prov, re) = self.row_counts(node);
+        t.gauge("recorder.prov_rows", Some(node.0), prov as i64);
+        t.gauge("recorder.rule_exec_rows", Some(node.0), re as i64);
+        t.gauge(
+            "recorder.storage_bytes",
+            Some(node.0),
+            self.storage_at(node) as i64,
+        );
     }
 
     /// The `prov` row for an output tuple.
@@ -118,6 +134,7 @@ impl ProvRecorder for BasicRecorder {
             vids,
             next: meta.prev,
         });
+        self.report_tables(node);
 
         let mut out = meta.clone();
         out.stage = Stage::Derived;
@@ -136,11 +153,16 @@ impl ProvRecorder for BasicRecorder {
             rid: Some(rid),
             rloc: Some(rloc),
         });
+        self.report_tables(node);
     }
 
     fn storage_at(&self, node: NodeId) -> usize {
         let n = &self.nodes[node.index()];
         n.prov.bytes() + n.rule_exec.bytes()
+    }
+
+    fn attach_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = Some(telemetry);
     }
 }
 

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use dpc_common::{EqKeyHash, EvId, NodeId, Rid, Tuple, Vid};
 use dpc_engine::{ProvMeta, ProvRecorder, Stage};
 use dpc_ndlog::{EquivKeys, Rule};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::advanced::{advanced_rid, node_rid, ADVANCED_META_BYTES};
 use crate::query::AdvancedStore;
@@ -51,22 +51,27 @@ impl SharedNodeStore {
     /// Serialized size of the shared tables at `node`. Shared across all
     /// participating programs — count it once, not per program.
     pub fn storage_at(&self, node: NodeId) -> usize {
-        self.inner.lock()[node.index()].bytes()
+        self.inner.lock().unwrap()[node.index()].bytes()
     }
 
     /// Total shared storage across all nodes.
     pub fn total_storage(&self) -> usize {
-        self.inner.lock().iter().map(InterClassTables::bytes).sum()
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .map(InterClassTables::bytes)
+            .sum()
     }
 
     /// Concrete node rows at `node`.
     pub fn node_rows(&self, node: NodeId) -> usize {
-        self.inner.lock()[node.index()].node_rows()
+        self.inner.lock().unwrap()[node.index()].node_rows()
     }
 
     /// Link rows at `node`.
     pub fn link_rows(&self, node: NodeId) -> usize {
-        self.inner.lock()[node.index()].link_rows()
+        self.inner.lock().unwrap()[node.index()].link_rows()
     }
 
     fn insert(
@@ -77,11 +82,11 @@ impl SharedNodeStore {
         chain_rid: Rid,
         next: Option<(NodeId, Rid)>,
     ) {
-        self.inner.lock()[node.index()].insert(nrid, row, chain_rid, next);
+        self.inner.lock().unwrap()[node.index()].insert(nrid, row, chain_rid, next);
     }
 
     fn get(&self, node: NodeId, chain_rid: &Rid) -> Option<RuleExecView> {
-        self.inner.lock().get(node.index())?.get(chain_rid)
+        self.inner.lock().unwrap().get(node.index())?.get(chain_rid)
     }
 }
 
@@ -106,7 +111,7 @@ pub struct CrossProgramRecorder {
 impl CrossProgramRecorder {
     /// Create a recorder for one program over `store`'s network.
     pub fn new(keys: EquivKeys, store: SharedNodeStore) -> CrossProgramRecorder {
-        let n = store.inner.lock().len();
+        let n = store.inner.lock().unwrap().len();
         CrossProgramRecorder {
             keys,
             store,

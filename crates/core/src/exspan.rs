@@ -9,6 +9,7 @@
 use dpc_common::{NodeId, Rid, Sha1, Tuple, Vid};
 use dpc_engine::{ProvMeta, ProvRecorder, Stage};
 use dpc_ndlog::Rule;
+use dpc_telemetry::TelemetryHandle;
 
 use crate::storage::{ProvRow, ProvTable, RuleExecRow, RuleExecTable};
 
@@ -23,6 +24,7 @@ struct Node {
 #[derive(Debug)]
 pub struct ExspanRecorder {
     nodes: Vec<Node>,
+    telemetry: Option<TelemetryHandle>,
 }
 
 /// Compute the ExSPAN rule-execution id: `sha1(rule + loc + vids)`.
@@ -52,7 +54,21 @@ impl ExspanRecorder {
                     rule_exec: RuleExecTable::new(false),
                 })
                 .collect(),
+            telemetry: None,
         }
+    }
+
+    /// Push the per-table gauges for `node` to the attached telemetry.
+    fn report_tables(&self, node: NodeId) {
+        let Some(t) = &self.telemetry else { return };
+        let (prov, re) = self.row_counts(node);
+        t.gauge("recorder.prov_rows", Some(node.0), prov as i64);
+        t.gauge("recorder.rule_exec_rows", Some(node.0), re as i64);
+        t.gauge(
+            "recorder.storage_bytes",
+            Some(node.0),
+            self.storage_at(node) as i64,
+        );
     }
 
     /// The `prov` row for `vid` at `loc`.
@@ -144,6 +160,11 @@ impl ProvRecorder for ExspanRecorder {
             rloc: Some(node),
         });
 
+        self.report_tables(node);
+        if head_loc != node {
+            self.report_tables(head_loc);
+        }
+
         let mut out = meta.clone();
         out.stage = Stage::Derived;
         out.prev = Some((node, rid));
@@ -158,11 +179,16 @@ impl ProvRecorder for ExspanRecorder {
 
     fn on_base_install(&mut self, node: NodeId, tuple: &Tuple) {
         self.insert_base_prov(node, tuple);
+        self.report_tables(node);
     }
 
     fn storage_at(&self, node: NodeId) -> usize {
         let n = &self.nodes[node.index()];
         n.prov.bytes() + n.rule_exec.bytes()
+    }
+
+    fn attach_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = Some(telemetry);
     }
 }
 

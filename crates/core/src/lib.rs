@@ -40,6 +40,7 @@ pub mod query;
 pub mod reconstruct;
 pub mod reference;
 pub mod replay;
+pub mod scheme;
 pub mod selfhost;
 pub mod storage;
 pub mod tree;
@@ -57,6 +58,7 @@ pub use query::{
 };
 pub use reference::GroundTruthRecorder;
 pub use replay::{ReplayLog, ReplayOp, ReplayableRuntime};
+pub use scheme::Scheme;
 pub use selfhost::{
     extend_input_event, extend_input_event_advanced, register_advanced_fns, register_provenance_fns,
 };

@@ -1,0 +1,101 @@
+//! Scheme selection: one enum naming every provenance maintenance scheme
+//! the paper evaluates, plus a factory producing a boxed recorder wired
+//! for a given program and network size.
+//!
+//! The factory lets scheme-generic harness code (the `fig*` binaries, the
+//! forwarding/DNS runners) drive a `Runtime<Box<dyn ProvRecorder>>`
+//! instead of duplicating a `match` per call site.
+
+use dpc_engine::{NoopRecorder, ProvRecorder};
+use dpc_ndlog::{equivalence_keys, Delp};
+
+use crate::advanced::AdvancedRecorder;
+use crate::basic::BasicRecorder;
+use crate::exspan::ExspanRecorder;
+
+/// The provenance maintenance scheme under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No provenance at all — the uninstrumented baseline for
+    /// network-overhead comparisons.
+    Noop,
+    /// Uncompressed ExSPAN baseline (Section 2.2).
+    Exspan,
+    /// Section 4 storage optimization.
+    Basic,
+    /// Section 5.3 equivalence-based compression.
+    Advanced,
+    /// Section 5.3 + the Section 5.4 node/link split.
+    AdvancedInterClass,
+}
+
+impl Scheme {
+    /// The three schemes the paper's figures compare.
+    pub const PAPER: [Scheme; 3] = [Scheme::Exspan, Scheme::Basic, Scheme::Advanced];
+
+    /// Every scheme, in presentation order.
+    pub const ALL: [Scheme; 5] = [
+        Scheme::Noop,
+        Scheme::Exspan,
+        Scheme::Basic,
+        Scheme::Advanced,
+        Scheme::AdvancedInterClass,
+    ];
+
+    /// Display name used in figure output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Noop => "None",
+            Scheme::Exspan => "ExSPAN",
+            Scheme::Basic => "Basic",
+            Scheme::Advanced => "Advanced",
+            Scheme::AdvancedInterClass => "Advanced+InterClass",
+        }
+    }
+
+    /// Build the recorder implementing this scheme for `delp` deployed on
+    /// `nodes` nodes. Advanced variants derive their equivalence keys from
+    /// the program's static analysis (Section 5.2).
+    pub fn recorder(self, delp: &Delp, nodes: usize) -> Box<dyn ProvRecorder> {
+        match self {
+            Scheme::Noop => Box::new(NoopRecorder),
+            Scheme::Exspan => Box::new(ExspanRecorder::new(nodes)),
+            Scheme::Basic => Box::new(BasicRecorder::new(nodes)),
+            Scheme::Advanced => Box::new(AdvancedRecorder::new(nodes, equivalence_keys(delp))),
+            Scheme::AdvancedInterClass => Box::new(AdvancedRecorder::with_inter_class(
+                nodes,
+                equivalence_keys(delp),
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_common::NodeId;
+    use dpc_ndlog::programs;
+
+    #[test]
+    fn names_and_sets() {
+        assert_eq!(Scheme::Exspan.name(), "ExSPAN");
+        assert_eq!(Scheme::PAPER.len(), 3);
+        assert_eq!(Scheme::ALL.len(), 5);
+        assert_eq!(Scheme::Advanced.to_string(), "Advanced");
+    }
+
+    #[test]
+    fn factory_builds_every_scheme() {
+        let delp = programs::packet_forwarding();
+        for sc in Scheme::ALL {
+            let rec = sc.recorder(&delp, 3);
+            assert_eq!(rec.storage_at(NodeId(0)), 0, "{}", sc.name());
+        }
+    }
+}

@@ -10,25 +10,26 @@
 //! the equivalence the test at the bottom of this module enforces.
 
 use dpc_common::{Digest, Error, NodeId, Rid, Tuple, Value, Vid};
-use dpc_engine::{ProvRecorder, Runtime};
+use dpc_engine::FnRegistry;
 use dpc_ndlog::rewrite::NULL_REF;
-use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 use crate::advanced::advanced_rid;
 use crate::exspan::exspan_rid;
 
-/// Register `f_vid` and `f_rid` on a runtime that executes a rewritten
-/// program.
-pub fn register_provenance_fns<R: ProvRecorder>(rt: &mut Runtime<R>) {
-    rt.register_fn("f_vid", |args: &[Value]| {
+/// Register `f_vid` and `f_rid` in the function registry of a runtime
+/// that executes a rewritten program (pass
+/// `RuntimeBuilder::fns_mut()` while building).
+pub fn register_provenance_fns(fns: &mut FnRegistry) {
+    fns.register("f_vid", |args: &[Value]| {
         let Some(rel) = args.first().and_then(Value::as_str) else {
             return Err(Error::Eval("f_vid expects a relation name first".into()));
         };
         let t = Tuple::new(rel, args[1..].to_vec());
         Ok(Value::Str(t.vid().to_hex()))
     });
-    rt.register_fn("f_rid", |args: &[Value]| {
+    fns.register("f_rid", |args: &[Value]| {
         let (Some(label), Some(loc)) = (
             args.first().and_then(Value::as_str),
             args.get(1).and_then(Value::as_addr),
@@ -55,8 +56,8 @@ pub fn register_provenance_fns<R: ProvRecorder>(rt: &mut Runtime<R>) {
 /// `false` the first time a key valuation is seen, `true` afterwards) on
 /// a runtime executing an Advanced-rewritten program. Call
 /// [`register_provenance_fns`] as well for `f_vid`.
-pub fn register_advanced_fns<R: ProvRecorder>(rt: &mut Runtime<R>) {
-    rt.register_fn("f_arid", |args: &[Value]| {
+pub fn register_advanced_fns(fns: &mut FnRegistry) {
+    fns.register("f_arid", |args: &[Value]| {
         let Some(label) = args.first().and_then(Value::as_str) else {
             return Err(Error::Eval("f_arid expects a rule label first".into()));
         };
@@ -97,7 +98,7 @@ pub fn register_advanced_fns<R: ProvRecorder>(rt: &mut Runtime<R>) {
     // Arguments: (NKEYS, loc, key valuation..., full event attrs...).
     let htequi: Arc<Mutex<std::collections::HashMap<Vec<u8>, Vec<u8>>>> =
         Arc::new(Mutex::new(std::collections::HashMap::new()));
-    rt.register_fn("f_existflag", move |args: &[Value]| {
+    fns.register("f_existflag", move |args: &[Value]| {
         let nkeys = args
             .first()
             .and_then(Value::as_int)
@@ -118,7 +119,7 @@ pub fn register_advanced_fns<R: ProvRecorder>(rt: &mut Runtime<R>) {
         for a in &args[2 + nkeys..] {
             a.encode_into(&mut identity);
         }
-        let mut map = htequi.lock();
+        let mut map = htequi.lock().unwrap();
         match map.get(&class_key) {
             Some(first) => Ok(Value::Bool(*first != identity)),
             None => {
@@ -155,7 +156,7 @@ mod tests {
     use crate::basic::BasicRecorder;
     use dpc_apps::forwarding;
     use dpc_common::{NodeId, Rid};
-    use dpc_engine::NoopRecorder;
+    use dpc_engine::{ProvRecorder, Runtime};
     use dpc_ndlog::rewrite::{rewrite_basic, RULE_EXEC_PREFIX};
     use dpc_ndlog::{programs, Delp};
     use dpc_netsim::{topo, Link};
@@ -189,13 +190,10 @@ mod tests {
 
         // Self-hosted run.
         let rewritten = Delp::new_relaxed(rewrite_basic(&programs::packet_forwarding())).unwrap();
-        let mut hosted = Runtime::new(
-            rewritten,
-            topo::line(len as usize, Link::STUB_STUB),
-            NoopRecorder,
-        );
+        let mut b = Runtime::builder(rewritten, topo::line(len as usize, Link::STUB_STUB));
+        register_provenance_fns(b.fns_mut());
+        let mut hosted = b.build().unwrap();
         routes(&mut hosted, len);
-        register_provenance_fns(&mut hosted);
         hosted.inject(extend_input_event(&pkt)).unwrap();
         hosted.run().unwrap();
 
@@ -293,14 +291,11 @@ mod tests {
         // Self-hosted run.
         let rewritten =
             Delp::new_relaxed(rewrite_advanced(&programs::packet_forwarding(), &keys)).unwrap();
-        let mut hosted = Runtime::new(
-            rewritten,
-            topo::line(len as usize, Link::STUB_STUB),
-            NoopRecorder,
-        );
+        let mut b = Runtime::builder(rewritten, topo::line(len as usize, Link::STUB_STUB));
+        register_provenance_fns(b.fns_mut());
+        register_advanced_fns(b.fns_mut());
+        let mut hosted = b.build().unwrap();
         routes(&mut hosted, len);
-        register_provenance_fns(&mut hosted);
-        register_advanced_fns(&mut hosted);
         hosted.inject(extend_input_event_advanced(&p1)).unwrap();
         hosted.run().unwrap();
         hosted.inject(extend_input_event_advanced(&p2)).unwrap();
@@ -385,9 +380,9 @@ mod tests {
 
     #[test]
     fn existflag_is_stateful_and_per_key() {
-        let mut rt = forwarding::make_runtime(topo::line(2, Link::STUB_STUB), NoopRecorder);
-        register_advanced_fns(&mut rt);
-        let f = rt.fns().get("f_existflag").unwrap().clone();
+        let mut fns = FnRegistry::new();
+        register_advanced_fns(&mut fns);
+        let f = fns.get("f_existflag").unwrap().clone();
         // (NKEYS=1, loc, key, event identity...)
         let ev1 = [
             Value::Int(1),
@@ -416,9 +411,9 @@ mod tests {
 
     #[test]
     fn fvid_matches_native_tuple_hash() {
-        let mut rt = forwarding::make_runtime(topo::line(2, Link::STUB_STUB), NoopRecorder);
-        register_provenance_fns(&mut rt);
-        let f = rt.fns().get("f_vid").unwrap().clone();
+        let mut fns = FnRegistry::new();
+        register_provenance_fns(&mut fns);
+        let f = fns.get("f_vid").unwrap().clone();
         let t = forwarding::route(n(0), n(1), n(1));
         let mut args = vec![Value::str("route")];
         args.extend(t.args().iter().cloned());
@@ -427,9 +422,9 @@ mod tests {
 
     #[test]
     fn frid_matches_native_rule_hash() {
-        let mut rt = forwarding::make_runtime(topo::line(2, Link::STUB_STUB), NoopRecorder);
-        register_provenance_fns(&mut rt);
-        let f = rt.fns().get("f_rid").unwrap().clone();
+        let mut fns = FnRegistry::new();
+        register_provenance_fns(&mut fns);
+        let f = fns.get("f_rid").unwrap().clone();
         let v1 = Vid::of_bytes(b"child");
         let native = exspan_rid("r1", n(0), &[v1]);
         let got = f(&[Value::str("r1"), Value::Addr(n(0)), Value::Str(v1.to_hex())]).unwrap();
@@ -438,9 +433,9 @@ mod tests {
 
     #[test]
     fn frid_rejects_bad_hex() {
-        let mut rt = forwarding::make_runtime(topo::line(2, Link::STUB_STUB), NoopRecorder);
-        register_provenance_fns(&mut rt);
-        let f = rt.fns().get("f_rid").unwrap().clone();
+        let mut fns = FnRegistry::new();
+        register_provenance_fns(&mut fns);
+        let f = fns.get("f_rid").unwrap().clone();
         let err = f(&[Value::str("r1"), Value::Addr(n(0)), Value::str("zzz")]).unwrap_err();
         assert!(err.to_string().contains("hex"), "{err}");
     }

@@ -304,19 +304,25 @@ pub struct InterClassTables {
 
 impl InterClassTables {
     /// Insert the concrete node row (idempotent; this is where cross-class
-    /// sharing happens) and the per-tree link row.
+    /// sharing happens) and the per-tree link row. Returns the node-row
+    /// bytes *saved* by sharing: the row's serialized size when an equal
+    /// concrete node already existed, 0 when this insert materialized it.
     pub fn insert(
         &mut self,
         node_rid: Rid,
         node_row: RuleExecRow,
         chain_rid: Rid,
         next: Option<(NodeId, Rid)>,
-    ) {
-        if let Entry::Vacant(v) = self.nodes.entry(node_rid) {
-            // Node row: (RLoc, RID, R, VIDS) — never carries links.
-            self.node_bytes += node_row.size_bytes(false);
-            v.insert(node_row);
-        }
+    ) -> usize {
+        let saved = match self.nodes.entry(node_rid) {
+            Entry::Vacant(v) => {
+                // Node row: (RLoc, RID, R, VIDS) — never carries links.
+                self.node_bytes += node_row.size_bytes(false);
+                v.insert(node_row);
+                0
+            }
+            Entry::Occupied(_) => node_row.size_bytes(false),
+        };
         if let Entry::Vacant(v) = self.links.entry(chain_rid) {
             // Link row: (RLoc, RID, NLoc, NRID) as in Table 4 — in the
             // paper's layout the link table is scoped per tree, so the
@@ -327,6 +333,7 @@ impl InterClassTables {
             self.link_bytes += 4 + 20 + next.storage_size();
             v.insert((node_rid, next));
         }
+        saved
     }
 
     /// Resolve a chain rid to a full view (join of link and node rows).

@@ -33,4 +33,4 @@ pub mod runtime;
 pub use db::{Database, Table};
 pub use eval::{eval_rule, Bindings, Firing, FnRegistry};
 pub use recorder::{NoopRecorder, ProvMeta, ProvRecorder, Stage, TeeRecorder};
-pub use runtime::{NodeMetrics, OutputRecord, Runtime, RuntimeConfig};
+pub use runtime::{NodeMetrics, OutputRecord, RunMetrics, Runtime, RuntimeBuilder, RuntimeConfig};

@@ -7,6 +7,7 @@
 
 use dpc_common::{EqKeyHash, EvId, NodeId, Rid, Tuple};
 use dpc_ndlog::Rule;
+use dpc_telemetry::TelemetryHandle;
 
 /// Where in its execution a traveling tuple is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +103,53 @@ pub trait ProvRecorder {
     /// Serialized size of the provenance tables held at `node` — the
     /// paper's storage metric.
     fn storage_at(&self, node: NodeId) -> usize;
+
+    /// Attach a telemetry sink. Recorders that report metrics (table row
+    /// counts, `htequi` hit rates, dedup savings) keep the handle; the
+    /// default implementation ignores it.
+    fn attach_telemetry(&mut self, telemetry: TelemetryHandle) {
+        let _ = telemetry;
+    }
+}
+
+// Boxed recorders forward every hook, so scheme-generic code (e.g. the
+// `Scheme::recorder` factory) can drive a `Runtime<Box<dyn ProvRecorder>>`.
+impl ProvRecorder for Box<dyn ProvRecorder> {
+    fn on_input(&mut self, node: NodeId, event: &Tuple, meta: &mut ProvMeta) {
+        (**self).on_input(node, event, meta)
+    }
+
+    fn on_rule(
+        &mut self,
+        node: NodeId,
+        rule: &Rule,
+        event: &Tuple,
+        slow: &[Tuple],
+        head: &Tuple,
+        meta: &ProvMeta,
+    ) -> ProvMeta {
+        (**self).on_rule(node, rule, event, slow, head, meta)
+    }
+
+    fn on_output(&mut self, node: NodeId, output: &Tuple, meta: &ProvMeta) {
+        (**self).on_output(node, output, meta)
+    }
+
+    fn on_base_install(&mut self, node: NodeId, tuple: &Tuple) {
+        (**self).on_base_install(node, tuple)
+    }
+
+    fn on_sig(&mut self, node: NodeId) {
+        (**self).on_sig(node)
+    }
+
+    fn storage_at(&self, node: NodeId) -> usize {
+        (**self).storage_at(node)
+    }
+
+    fn attach_telemetry(&mut self, telemetry: TelemetryHandle) {
+        (**self).attach_telemetry(telemetry)
+    }
 }
 
 /// A recorder that maintains no provenance at all (the uninstrumented
@@ -193,6 +241,12 @@ impl<A: ProvRecorder, B: ProvRecorder> ProvRecorder for TeeRecorder<A, B> {
     fn storage_at(&self, node: NodeId) -> usize {
         // The primary's tables are the measured artifact.
         self.primary.storage_at(node)
+    }
+
+    fn attach_telemetry(&mut self, telemetry: TelemetryHandle) {
+        // Only the primary reports: the shadow observes silently, exactly
+        // like it stays out of storage accounting.
+        self.primary.attach_telemetry(telemetry);
     }
 }
 

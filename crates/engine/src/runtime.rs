@@ -17,10 +17,11 @@ use std::collections::HashMap;
 use dpc_common::{Error, EvId, NodeId, Result, StorageSize, Tuple, Vid};
 use dpc_ndlog::Delp;
 use dpc_netsim::{Network, Sim, SimTime, TrafficStats};
+use dpc_telemetry::{TelemetryHandle, TraceKind};
 
 use crate::db::Database;
 use crate::eval::{eval_rule, FnRegistry};
-use crate::recorder::{ProvMeta, ProvRecorder, Stage};
+use crate::recorder::{NoopRecorder, ProvMeta, ProvRecorder, Stage};
 
 /// Messages exchanged by the runtime over the simulated network.
 #[derive(Debug, Clone)]
@@ -97,6 +98,132 @@ impl Default for RuntimeConfig {
     }
 }
 
+/// Headline counters of one run, aggregated across every node — the
+/// unified facade the benchmark harness reads instead of poking at the
+/// simulator, recorder and runtime separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Output tuples derived.
+    pub outputs: u64,
+    /// Rules fired across all nodes.
+    pub rules_fired: u64,
+    /// Messages dropped by loss injection.
+    pub dropped_messages: u64,
+    /// Total bytes on the wire.
+    pub total_traffic_bytes: u64,
+    /// Total provenance storage across all nodes, bytes.
+    pub total_storage_bytes: usize,
+}
+
+/// A fluent constructor for [`Runtime`]: collects the recorder, config,
+/// relations of interest, user functions and telemetry sink, then
+/// validates everything in one [`RuntimeBuilder::build`] call.
+///
+/// ```ignore
+/// let rt = Runtime::builder(delp, net)
+///     .recorder(ExspanRecorder::new(n))
+///     .config(RuntimeConfig::default())
+///     .interest(["dnsResult"])
+///     .register_fn("f_isSubDomain", is_sub_domain)
+///     .telemetry(Telemetry::handle())
+///     .build()?;
+/// ```
+pub struct RuntimeBuilder<R = NoopRecorder> {
+    delp: Delp,
+    net: Network,
+    recorder: R,
+    config: RuntimeConfig,
+    interest: Vec<String>,
+    fns: FnRegistry,
+    telemetry: Option<TelemetryHandle>,
+}
+
+impl RuntimeBuilder<NoopRecorder> {
+    /// Start a builder with the no-op recorder (swap it with
+    /// [`RuntimeBuilder::recorder`]).
+    pub fn new(delp: Delp, net: Network) -> RuntimeBuilder<NoopRecorder> {
+        RuntimeBuilder {
+            delp,
+            net,
+            recorder: NoopRecorder,
+            config: RuntimeConfig::default(),
+            interest: Vec::new(),
+            fns: FnRegistry::new(),
+            telemetry: None,
+        }
+    }
+}
+
+impl<R: ProvRecorder> RuntimeBuilder<R> {
+    /// Use `recorder` for provenance maintenance.
+    pub fn recorder<R2: ProvRecorder>(self, recorder: R2) -> RuntimeBuilder<R2> {
+        RuntimeBuilder {
+            delp: self.delp,
+            net: self.net,
+            recorder,
+            config: self.config,
+            interest: self.interest,
+            fns: self.fns,
+            telemetry: self.telemetry,
+        }
+    }
+
+    /// Replace the runtime configuration.
+    pub fn config(mut self, config: RuntimeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Declare *relations of interest* (Section 3.2): derived head
+    /// relations whose tuples get concrete provenance associations even
+    /// when intermediate. Validated against the program at build time.
+    pub fn interest<I, S>(mut self, rels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.interest.extend(rels.into_iter().map(Into::into));
+        self
+    }
+
+    /// Register a user-defined function.
+    pub fn register_fn(
+        mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[dpc_common::Value]) -> Result<dpc_common::Value> + Send + Sync + 'static,
+    ) -> Self {
+        self.fns.register(name, f);
+        self
+    }
+
+    /// Mutable access to the function registry, for helpers that install
+    /// function packages (e.g. the self-hosted provenance functions).
+    pub fn fns_mut(&mut self) -> &mut FnRegistry {
+        &mut self.fns
+    }
+
+    /// Attach a telemetry sink: wired into the simulator (traffic
+    /// counters, queueing delays), the runtime (rule/join/output counters,
+    /// trace events, periodic snapshots on the simulated clock) and the
+    /// recorder (table sizes, `htequi` hit rates).
+    pub fn telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Validate and construct the [`Runtime`].
+    pub fn build(self) -> Result<Runtime<R>> {
+        let mut rt = Runtime::new(self.delp, self.net, self.recorder);
+        rt.config = self.config;
+        rt.fns = self.fns;
+        rt.apply_interest(self.interest)?;
+        if let Some(t) = self.telemetry {
+            rt.attach_telemetry(t);
+        }
+        Ok(rt)
+    }
+}
+
 /// The engine runtime: one DELP deployed on every node of a network.
 pub struct Runtime<R> {
     delp: Delp,
@@ -119,6 +246,15 @@ pub struct Runtime<R> {
     outputs_count: u64,
     /// Errors from rule evaluation are fatal to the run; kept for context.
     rules_fired: u64,
+    telemetry: Option<TelemetryHandle>,
+}
+
+impl Runtime<NoopRecorder> {
+    /// Start a [`RuntimeBuilder`] for `delp` on `net` (no-op recorder
+    /// until [`RuntimeBuilder::recorder`] replaces it).
+    pub fn builder(delp: Delp, net: Network) -> RuntimeBuilder<NoopRecorder> {
+        RuntimeBuilder::new(delp, net)
+    }
 }
 
 impl<R: ProvRecorder> Runtime<R> {
@@ -139,6 +275,7 @@ impl<R: ProvRecorder> Runtime<R> {
             metrics: vec![NodeMetrics::default(); n],
             outputs_count: 0,
             rules_fired: 0,
+            telemetry: None,
         }
     }
 
@@ -147,12 +284,14 @@ impl<R: ProvRecorder> Runtime<R> {
         self.metrics[node.index()]
     }
 
-    /// Declare additional *relations of interest* (Section 3.2): head
-    /// relations whose tuples — even intermediate ones — get concrete
-    /// provenance associations (a stage 3 call per derived tuple), so
-    /// administrators can query them directly instead of replaying.
-    /// Output relations are always of interest and need not be listed.
-    pub fn set_interest<I, S>(&mut self, rels: I) -> Result<()>
+    /// Validate and install the relations of interest (Section 3.2):
+    /// head relations whose tuples — even intermediate ones — get
+    /// concrete provenance associations (a stage 3 call per derived
+    /// tuple), so administrators can query them directly instead of
+    /// replaying. Output relations are always of interest and need not be
+    /// listed. Shared by [`RuntimeBuilder::build`] and the deprecated
+    /// [`Runtime::set_interest`] shim.
+    fn apply_interest<I, S>(&mut self, rels: I) -> Result<()>
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
@@ -177,18 +316,59 @@ impl<R: ProvRecorder> Runtime<R> {
         Ok(())
     }
 
+    /// Declare additional *relations of interest* (Section 3.2).
+    #[deprecated(note = "use Runtime::builder(..).interest(..) instead")]
+    pub fn set_interest<I, S>(&mut self, rels: I) -> Result<()>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.apply_interest(rels)
+    }
+
     /// Replace the runtime configuration.
+    #[deprecated(note = "use Runtime::builder(..).config(..) instead")]
     pub fn set_config(&mut self, config: RuntimeConfig) {
         self.config = config;
     }
 
     /// Register a user-defined function.
+    #[deprecated(note = "use Runtime::builder(..).register_fn(..) instead")]
     pub fn register_fn(
         &mut self,
         name: impl Into<String>,
         f: impl Fn(&[dpc_common::Value]) -> Result<dpc_common::Value> + Send + Sync + 'static,
     ) {
         self.fns.register(name, f);
+    }
+
+    /// Attach a telemetry sink to the simulator, the recorder and the
+    /// runtime itself. Usually set through
+    /// [`RuntimeBuilder::telemetry`].
+    pub fn attach_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.sim.set_telemetry(telemetry.clone());
+        self.recorder.attach_telemetry(telemetry.clone());
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&TelemetryHandle> {
+        self.telemetry.as_ref()
+    }
+
+    /// Headline counters of the run so far, aggregated across nodes:
+    /// outputs, rules fired, drops, wire traffic and provenance storage.
+    pub fn metrics(&self) -> RunMetrics {
+        let total_storage_bytes = (0..self.dbs.len())
+            .map(|i| self.recorder.storage_at(NodeId(i as u32)))
+            .sum();
+        RunMetrics {
+            outputs: self.outputs_count,
+            rules_fired: self.rules_fired,
+            dropped_messages: self.sim.dropped(),
+            total_traffic_bytes: self.sim.stats().total_bytes(),
+            total_storage_bytes,
+        }
     }
 
     /// The function registry (shared by all nodes).
@@ -359,11 +539,17 @@ impl<R: ProvRecorder> Runtime<R> {
     }
 
     fn handle(&mut self, at: SimTime, node: NodeId, msg: Msg) -> Result<()> {
+        if let Some(t) = &self.telemetry {
+            t.maybe_snapshot(at.as_nanos());
+        }
         match msg {
             Msg::Event { tuple, meta } => self.handle_event(at, node, tuple, meta),
             Msg::SlowInsert { tuple } => {
                 self.recorder.on_base_install(node, &tuple);
                 self.dbs[node.index()].insert(tuple);
+                if let Some(t) = &self.telemetry {
+                    t.count("engine.sig_broadcasts", None, 1);
+                }
                 // Broadcast sig to every node, including self.
                 for m in self.sim.net().nodes().collect::<Vec<_>>() {
                     if m == node {
@@ -381,6 +567,10 @@ impl<R: ProvRecorder> Runtime<R> {
             }
             Msg::Sig => {
                 self.metrics[node.index()].sigs += 1;
+                if let Some(t) = &self.telemetry {
+                    t.count("engine.sigs_received", Some(node.0), 1);
+                    t.trace(at.as_nanos(), Some(node.0), TraceKind::Sig);
+                }
                 self.recorder.on_sig(node);
                 Ok(())
             }
@@ -395,10 +585,17 @@ impl<R: ProvRecorder> Runtime<R> {
         mut meta: ProvMeta,
     ) -> Result<()> {
         self.metrics[node.index()].events_handled += 1;
+        if let Some(t) = &self.telemetry {
+            t.count("engine.events_handled", Some(node.0), 1);
+        }
         // Output tuples complete an execution (stage 3).
         if self.delp.is_output(tuple.rel()) {
             self.metrics[node.index()].outputs += 1;
             self.outputs_count += 1;
+            if let Some(t) = &self.telemetry {
+                t.count("engine.outputs", Some(node.0), 1);
+                t.trace(at.as_nanos(), Some(node.0), TraceKind::Stage3);
+            }
             self.recorder.on_output(node, &tuple, &meta);
             if self.config.retain_tuples {
                 self.dbs[node.index()].insert(tuple.clone());
@@ -419,6 +616,20 @@ impl<R: ProvRecorder> Runtime<R> {
         // materialization.
         if meta.stage == Stage::Input {
             self.recorder.on_input(node, &tuple, &mut meta);
+            if let Some(t) = &self.telemetry {
+                t.trace(at.as_nanos(), Some(node.0), TraceKind::Stage1);
+                // Schemes that run the equivalence check set `eq_hash`;
+                // `exist_flag` then distinguishes a compressed re-execution
+                // (hit) from a fresh class (miss).
+                if meta.eq_hash.is_some() {
+                    let kind = if meta.exist_flag {
+                        TraceKind::EqHit
+                    } else {
+                        TraceKind::EqMiss
+                    };
+                    t.trace(at.as_nanos(), Some(node.0), kind);
+                }
+            }
             meta.stage = Stage::Derived;
             if self.config.retain_tuples {
                 self.events[node.index()].insert(tuple.evid(), tuple.clone());
@@ -434,10 +645,18 @@ impl<R: ProvRecorder> Runtime<R> {
         // Stage 2: fire every rule whose event relation matches.
         let rules: Vec<_> = self.delp.rules_for_event(tuple.rel()).cloned().collect();
         for rule in &rules {
+            if let Some(t) = &self.telemetry {
+                t.count("engine.joins_attempted", Some(node.0), 1);
+            }
             let firings = eval_rule(rule, &tuple, &self.dbs[node.index()], &self.fns)?;
             for firing in firings {
                 self.rules_fired += 1;
                 self.metrics[node.index()].rules_fired += 1;
+                if let Some(t) = &self.telemetry {
+                    t.count("engine.rules_fired", Some(node.0), 1);
+                    t.trace(at.as_nanos(), Some(node.0), TraceKind::RuleFired);
+                    t.trace(at.as_nanos(), Some(node.0), TraceKind::Stage2);
+                }
                 let out_meta =
                     self.recorder
                         .on_rule(node, rule, &tuple, &firing.slow, &firing.head, &meta);
@@ -464,6 +683,13 @@ impl<R: ProvRecorder> Runtime<R> {
                     self.sim.send_routed(node, dst, bytes, msg)?;
                 }
             }
+        }
+        if let Some(t) = &self.telemetry {
+            t.gauge(
+                "engine.db_rows",
+                Some(node.0),
+                self.dbs[node.index()].len() as i64,
+            );
         }
         Ok(())
     }
@@ -705,15 +931,17 @@ mod tests {
     fn dns_resolution_end_to_end() {
         // Host n0, root n1, "com" server n2, "hello.com" server n3.
         let net = topo::line(4, Link::STUB_STUB);
-        let mut rt = Runtime::new(programs::dns_resolution(), net, NoopRecorder);
-        rt.register_fn("f_isSubDomain", |args| {
-            let (Some(dm), Some(url)) = (args[0].as_str(), args[1].as_str()) else {
-                return Err(Error::Eval("f_isSubDomain expects strings".into()));
-            };
-            Ok(Value::Bool(
-                url == dm || url.ends_with(&format!(".{dm}")) || url.ends_with(dm),
-            ))
-        });
+        let mut rt = Runtime::builder(programs::dns_resolution(), net)
+            .register_fn("f_isSubDomain", |args| {
+                let (Some(dm), Some(url)) = (args[0].as_str(), args[1].as_str()) else {
+                    return Err(Error::Eval("f_isSubDomain expects strings".into()));
+                };
+                Ok(Value::Bool(
+                    url == dm || url.ends_with(&format!(".{dm}")) || url.ends_with(dm),
+                ))
+            })
+            .build()
+            .unwrap();
         rt.install(Tuple::new(
             "rootServer",
             vec![Value::Addr(n(0)), Value::Addr(n(1))],

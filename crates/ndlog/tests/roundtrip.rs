@@ -1,136 +1,200 @@
-//! Property tests of the NDlog frontend: pretty-print → parse round
+//! Randomized tests of the NDlog frontend: pretty-print → parse round
 //! trips on randomly generated programs, and total robustness of the
 //! lexer/parser on arbitrary input (errors, never panics).
+//!
+//! Generation is driven by the in-tree seeded PRNG so every failure
+//! reproduces from its case number.
 
-use dpc_common::Value;
+use dpc_common::{Rng, SeededRng, Value};
 use dpc_ndlog::{parse_program, Atom, BinOp, BodyItem, CmpOp, Expr, Program, Rule, Term};
-use proptest::prelude::*;
 
-fn var_name() -> impl Strategy<Value = String> {
-    "[A-Z][a-z0-9]{0,5}".prop_filter("no keyword collision", |s| {
-        // None of ours collide (keywords are lowercase), but keep the
-        // filter explicit.
-        !matches!(s.as_str(), "")
-    })
+const CASES: u64 = 128;
+
+fn random_var(rng: &mut SeededRng) -> String {
+    let mut s = String::new();
+    s.push((b'A' + rng.random_range(0..26u32) as u8) as char);
+    let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    for _ in 0..rng.random_range(0..6u64) {
+        s.push(alphabet[rng.random_range(0..alphabet.len())] as char);
+    }
+    s
 }
 
-fn rel_name() -> impl Strategy<Value = String> {
-    "[a-z][a-zA-Z0-9_]{0,6}".prop_filter("not a literal keyword or fn", |s| {
-        s != "true" && s != "false" && !s.starts_with("f_")
-    })
+fn random_rel(rng: &mut SeededRng) -> String {
+    loop {
+        let mut s = String::new();
+        s.push((b'a' + rng.random_range(0..26u32) as u8) as char);
+        let alphabet = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+        for _ in 0..rng.random_range(0..7u64) {
+            s.push(alphabet[rng.random_range(0..alphabet.len())] as char);
+        }
+        // Avoid literal keywords and the function-name prefix.
+        if s != "true" && s != "false" && !s.starts_with("f_") {
+            return s;
+        }
+    }
 }
 
-fn fn_name() -> impl Strategy<Value = String> {
-    "f_[a-z][a-zA-Z0-9]{0,5}".prop_map(|s| s)
+fn random_fn_name(rng: &mut SeededRng) -> String {
+    let mut s = String::from("f_");
+    s.push((b'a' + rng.random_range(0..26u32) as u8) as char);
+    let alphabet = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    for _ in 0..rng.random_range(0..6u64) {
+        s.push(alphabet[rng.random_range(0..alphabet.len())] as char);
+    }
+    s
 }
 
-fn constant() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<i32>().prop_map(|i| Value::Int(i as i64)),
-        "[a-z0-9 ]{0,8}".prop_map(Value::Str),
-        any::<bool>().prop_map(Value::Bool),
-    ]
-}
-
-fn term() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        var_name().prop_map(Term::Var),
-        constant().prop_map(Term::Const),
-    ]
-}
-
-fn atom() -> impl Strategy<Value = Atom> {
-    (rel_name(), proptest::collection::vec(term(), 1..5)).prop_map(|(rel, args)| Atom { rel, args })
-}
-
-fn expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        var_name().prop_map(Expr::Var),
-        constant().prop_map(Expr::Const),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Div)
-                ],
-                inner.clone(),
-                inner.clone()
+fn random_constant(rng: &mut SeededRng) -> Value {
+    match rng.random_range(0..3u32) {
+        0 => Value::Int(rng.next_u64() as i32 as i64),
+        1 => {
+            let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789 ";
+            let len = rng.random_range(0..9u64) as usize;
+            Value::Str(
+                (0..len)
+                    .map(|_| alphabet[rng.random_range(0..alphabet.len())] as char)
+                    .collect(),
             )
-                .prop_map(|(op, l, r)| Expr::BinOp(op, Box::new(l), Box::new(r))),
-            (fn_name(), proptest::collection::vec(inner, 1..3))
-                .prop_map(|(name, args)| Expr::Call(name, args)),
-        ]
-    })
+        }
+        _ => Value::Bool(rng.random_bool(0.5)),
+    }
 }
 
-fn cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
+fn random_term(rng: &mut SeededRng) -> Term {
+    if rng.random_bool(0.5) {
+        Term::Var(random_var(rng))
+    } else {
+        Term::Const(random_constant(rng))
+    }
 }
 
-fn body_item() -> impl Strategy<Value = BodyItem> {
-    prop_oneof![
-        atom().prop_map(BodyItem::Atom),
-        (expr(), cmp_op(), expr()).prop_map(|(left, op, right)| BodyItem::Constraint {
-            left,
+fn random_atom(rng: &mut SeededRng) -> Atom {
+    let arity = rng.random_range(1..5u64) as usize;
+    Atom {
+        rel: random_rel(rng),
+        args: (0..arity).map(|_| random_term(rng)).collect(),
+    }
+}
+
+fn random_expr(rng: &mut SeededRng, depth: usize) -> Expr {
+    if depth == 0 || rng.random_bool(0.4) {
+        return if rng.random_bool(0.5) {
+            Expr::Var(random_var(rng))
+        } else {
+            Expr::Const(random_constant(rng))
+        };
+    }
+    if rng.random_bool(0.6) {
+        let op = match rng.random_range(0..4u32) {
+            0 => BinOp::Add,
+            1 => BinOp::Sub,
+            2 => BinOp::Mul,
+            _ => BinOp::Div,
+        };
+        Expr::BinOp(
             op,
-            right
-        }),
-        (var_name(), expr()).prop_map(|(var, expr)| BodyItem::Assign { var, expr }),
-    ]
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
+        )
+    } else {
+        let n = rng.random_range(1..3u64) as usize;
+        Expr::Call(
+            random_fn_name(rng),
+            (0..n).map(|_| random_expr(rng, depth - 1)).collect(),
+        )
+    }
 }
 
-fn rule(label_idx: usize) -> impl Strategy<Value = Rule> {
-    (atom(), proptest::collection::vec(body_item(), 1..5)).prop_map(move |(head, body)| Rule {
-        label: format!("r{label_idx}"),
-        head,
-        body,
-    })
+fn random_cmp_op(rng: &mut SeededRng) -> CmpOp {
+    match rng.random_range(0..6u32) {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    }
 }
 
-fn program() -> impl Strategy<Value = Program> {
-    (1usize..5)
-        .prop_flat_map(|n| {
-            let rules: Vec<_> = (0..n).map(rule).collect();
-            rules
-        })
-        .prop_map(|rules| Program { rules })
+fn random_body_item(rng: &mut SeededRng) -> BodyItem {
+    match rng.random_range(0..3u32) {
+        0 => BodyItem::Atom(random_atom(rng)),
+        1 => BodyItem::Constraint {
+            left: random_expr(rng, 3),
+            op: random_cmp_op(rng),
+            right: random_expr(rng, 3),
+        },
+        _ => BodyItem::Assign {
+            var: random_var(rng),
+            expr: random_expr(rng, 3),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_program(rng: &mut SeededRng) -> Program {
+    let n = rng.random_range(1..5u64) as usize;
+    Program {
+        rules: (0..n)
+            .map(|i| {
+                let body_len = rng.random_range(1..5u64) as usize;
+                Rule {
+                    label: format!("r{i}"),
+                    head: random_atom(rng),
+                    body: (0..body_len).map(|_| random_body_item(rng)).collect(),
+                }
+            })
+            .collect(),
+    }
+}
 
-    /// Rendering a random program and parsing it back is the identity.
-    #[test]
-    fn display_parse_round_trip(p in program()) {
+/// Rendering a random program and parsing it back is the identity.
+#[test]
+fn display_parse_round_trip() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0xA000 + case);
+        let p = random_program(&mut rng);
         let text = p.to_string();
         let reparsed = parse_program(&text)
             .unwrap_or_else(|e| panic!("rendered program failed to parse: {e}\n{text}"));
-        prop_assert_eq!(p, reparsed);
+        assert_eq!(p, reparsed);
     }
+}
 
-    /// The frontend is total: arbitrary input produces Ok or Err, never a
-    /// panic.
-    #[test]
-    fn parser_never_panics(s in "\\PC{0,200}") {
+/// The frontend is total: arbitrary input produces Ok or Err, never a
+/// panic.
+#[test]
+fn parser_never_panics() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0xB000 + case);
+        let len = rng.random_range(0..201u64) as usize;
+        // Arbitrary printable unicode-ish soup: mix ASCII with a few
+        // multi-byte code points.
+        let s: String = (0..len)
+            .map(|_| match rng.random_range(0..8u32) {
+                0 => 'λ',
+                1 => 'é',
+                _ => (rng.random_range(0x20u32..0x7f) as u8) as char,
+            })
+            .collect();
         let _ = parse_program(&s);
     }
+}
 
-    /// Arbitrary ASCII soup with NDlog-ish characters.
-    #[test]
-    fn parser_never_panics_on_ndlogish_soup(
-        s in "[a-zA-Z0-9_@(),.:=<>!+*/ \"\\\\-]{0,120}"
-    ) {
+/// Arbitrary ASCII soup drawn from NDlog-ish characters — more likely to
+/// reach deep parser states than uniform noise.
+#[test]
+fn parser_never_panics_on_ndlogish_soup() {
+    let alphabet: Vec<char> =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_@(),.:=<>!+*/ \"\\-"
+            .chars()
+            .collect();
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0xC000 + case);
+        let len = rng.random_range(0..121u64) as usize;
+        let s: String = (0..len)
+            .map(|_| alphabet[rng.random_range(0..alphabet.len())])
+            .collect();
         let _ = parse_program(&s);
     }
 }

@@ -65,6 +65,15 @@ impl TrafficStats {
         self.per_link.get(&key).copied().unwrap_or(0)
     }
 
+    /// All per-link byte totals, sorted by endpoint pair (links are
+    /// undirected; the lower node id comes first). The stable ordering
+    /// makes this directly usable in machine-readable reports.
+    pub fn per_link_totals(&self) -> Vec<((NodeId, NodeId), u64)> {
+        let mut v: Vec<_> = self.per_link.iter().map(|(&k, &b)| (k, b)).collect();
+        v.sort_unstable_by_key(|&((a, b), _)| (a.0, b.0));
+        v
+    }
+
     /// Mean bandwidth in bytes/second over `[0, duration)`.
     pub fn mean_bandwidth(&self, duration: SimTime) -> f64 {
         let secs = duration.as_secs_f64();
@@ -148,5 +157,39 @@ mod tests {
     #[test]
     fn empty_series() {
         assert!(TrafficStats::new().per_second_series().is_empty());
+    }
+
+    #[test]
+    fn per_link_totals_are_sorted_and_normalized() {
+        let mut s = TrafficStats::new();
+        s.record(SimTime::ZERO, n(5), n(2), 10);
+        s.record(SimTime::ZERO, n(0), n(1), 3);
+        s.record(SimTime::ZERO, n(2), n(5), 4);
+        assert_eq!(
+            s.per_link_totals(),
+            vec![((n(0), n(1)), 3), ((n(2), n(5)), 14)]
+        );
+    }
+
+    /// Regression: traffic exactly on a second boundary belongs to the
+    /// *starting* second, and the series covers second 0 through the last
+    /// non-empty second even when early seconds are silent.
+    #[test]
+    fn second_boundary_accounting() {
+        let mut s = TrafficStats::new();
+        // 1.999_999_999 s is still second 1; 2.0 s exactly is second 2.
+        s.record(SimTime::from_nanos(1_999_999_999), n(0), n(1), 5);
+        s.record(SimTime::from_secs(2), n(0), n(1), 7);
+        assert_eq!(s.bytes_in_second(0), 0);
+        assert_eq!(s.bytes_in_second(1), 5);
+        assert_eq!(s.bytes_in_second(2), 7);
+        assert_eq!(s.per_second_series(), vec![0, 5, 7]);
+        // A leading-silence run still starts the series at second 0.
+        let mut s = TrafficStats::new();
+        s.record(SimTime::from_secs(3), n(0), n(1), 1);
+        assert_eq!(s.per_second_series(), vec![0, 0, 0, 1]);
+        assert_eq!(s.bytes_in_second(2), 0);
+        assert_eq!(s.bytes_in_second(3), 1);
+        assert_eq!(s.bytes_in_second(4), 0);
     }
 }

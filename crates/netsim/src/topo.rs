@@ -9,7 +9,7 @@
 //! tests and examples.
 
 use dpc_common::NodeId;
-use rand::Rng;
+use dpc_common::Rng;
 
 use crate::link::Link;
 use crate::network::Network;
@@ -256,12 +256,11 @@ pub fn complete(n: usize, link: Link) -> Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dpc_common::SeededRng;
 
     #[test]
     fn transit_stub_default_matches_paper_shape() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SeededRng::seed_from_u64(7);
         let ts = transit_stub(&mut rng, &TransitStubParams::default());
         assert_eq!(ts.net.node_count(), 100);
         assert_eq!(ts.transit.len(), 4);
@@ -278,8 +277,8 @@ mod tests {
     #[test]
     fn transit_stub_is_deterministic_per_seed() {
         let p = TransitStubParams::default();
-        let a = transit_stub(&mut StdRng::seed_from_u64(1), &p);
-        let b = transit_stub(&mut StdRng::seed_from_u64(1), &p);
+        let a = transit_stub(&mut SeededRng::seed_from_u64(1), &p);
+        let b = transit_stub(&mut SeededRng::seed_from_u64(1), &p);
         assert_eq!(a.net.link_count(), b.net.link_count());
         for n in a.net.nodes() {
             let an: Vec<_> = a.net.neighbors(n).map(|(m, _)| m).collect();
@@ -290,7 +289,7 @@ mod tests {
 
     #[test]
     fn transit_links_use_right_classes() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SeededRng::seed_from_u64(2);
         let ts = transit_stub(&mut rng, &TransitStubParams::default());
         let l = ts.net.link(ts.transit[0], ts.transit[1]).unwrap();
         assert_eq!(l, Link::TRANSIT_TRANSIT);
@@ -298,7 +297,7 @@ mod tests {
 
     #[test]
     fn tree_default_matches_paper_shape() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SeededRng::seed_from_u64(11);
         let t = tree(&mut rng, &TreeParams::default());
         assert_eq!(t.net.node_count(), 100);
         assert!(t.net.is_connected());
@@ -310,7 +309,7 @@ mod tests {
 
     #[test]
     fn tree_parent_structure_is_consistent() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SeededRng::seed_from_u64(3);
         let t = tree(
             &mut rng,
             &TreeParams {
@@ -332,7 +331,7 @@ mod tests {
 
     #[test]
     fn single_node_tree() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = SeededRng::seed_from_u64(4);
         let t = tree(
             &mut rng,
             &TreeParams {

@@ -1,120 +1,135 @@
-//! Property tests of the network layer: shortest-path invariants over
+//! Randomized tests of the network layer: shortest-path invariants over
 //! random connected topologies, and simulator delivery invariants.
+//!
+//! Driven by the in-tree seeded PRNG so every failing case reproduces
+//! from its case number.
 
-use dpc_common::NodeId;
+use dpc_common::{NodeId, Rng, SeededRng};
 use dpc_netsim::{Link, Network, Sim, SimTime};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 /// A random connected network: a spanning tree plus extra chords, with
 /// random link latencies.
-fn network() -> impl Strategy<Value = Network> {
-    (2usize..12).prop_flat_map(|n| {
-        let parents = proptest::collection::vec(0usize..n, n - 1);
-        let latencies = proptest::collection::vec(1u64..100, n - 1);
-        let chords = proptest::collection::vec((0usize..n, 0usize..n, 1u64..100), 0..6);
-        (parents, latencies, chords).prop_map(move |(parents, lat, chords)| {
-            let mut net = Network::with_nodes(n);
-            for i in 1..n {
-                let p = parents[i - 1] % i; // parent precedes child
-                net.add_link(
-                    NodeId(i as u32),
-                    NodeId(p as u32),
-                    Link::new(SimTime::from_millis(lat[i - 1]), 1_000_000),
-                )
-                .expect("tree edges are fresh");
-            }
-            for (a, b, l) in chords {
-                let (a, b) = (NodeId(a as u32), NodeId(b as u32));
-                if a != b && net.link(a, b).is_none() {
-                    net.add_link(a, b, Link::new(SimTime::from_millis(l), 1_000_000))
-                        .expect("checked for duplicates");
-                }
-            }
-            net
-        })
-    })
+fn random_network(rng: &mut SeededRng) -> Network {
+    let n = rng.random_range(2..12u64) as usize;
+    let mut net = Network::with_nodes(n);
+    for i in 1..n {
+        let p = rng.random_range(0..i as u64) as usize; // parent precedes child
+        net.add_link(
+            NodeId(i as u32),
+            NodeId(p as u32),
+            Link::new(SimTime::from_millis(rng.random_range(1..100u64)), 1_000_000),
+        )
+        .expect("tree edges are fresh");
+    }
+    for _ in 0..rng.random_range(0..6u64) {
+        let a = NodeId(rng.random_range(0..n as u64) as u32);
+        let b = NodeId(rng.random_range(0..n as u64) as u32);
+        if a != b && net.link(a, b).is_none() {
+            net.add_link(
+                a,
+                b,
+                Link::new(SimTime::from_millis(rng.random_range(1..100u64)), 1_000_000),
+            )
+            .expect("checked for duplicates");
+        }
+    }
+    net
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Generated networks are connected, and every shortest path is a
-    /// walk over existing links with the claimed total latency.
-    #[test]
-    fn paths_are_valid_walks(net in network()) {
-        prop_assert!(net.is_connected());
+/// Generated networks are connected, and every shortest path is a
+/// walk over existing links with the claimed total latency.
+#[test]
+fn paths_are_valid_walks() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x11_000 + case);
+        let net = random_network(&mut rng);
+        assert!(net.is_connected());
         let n = net.node_count() as u32;
         for a in 0..n {
             for b in 0..n {
                 let (a, b) = (NodeId(a), NodeId(b));
                 let path = net.path_by_latency(a, b).unwrap();
-                prop_assert_eq!(path[0], a);
-                prop_assert_eq!(*path.last().unwrap(), b);
+                assert_eq!(path[0], a);
+                assert_eq!(*path.last().unwrap(), b);
                 let mut total = SimTime::ZERO;
                 for w in path.windows(2) {
                     let link = net.link(w[0], w[1]);
-                    prop_assert!(link.is_some(), "non-adjacent hop");
+                    assert!(link.is_some(), "non-adjacent hop");
                     total += link.unwrap().latency;
                 }
-                prop_assert_eq!(net.path_latency(a, b).unwrap(), total);
+                assert_eq!(net.path_latency(a, b).unwrap(), total);
             }
         }
     }
+}
 
-    /// Latency metric properties: symmetry and the triangle inequality.
-    #[test]
-    fn latency_is_a_metric(net in network()) {
+/// Latency metric properties: symmetry and the triangle inequality.
+#[test]
+fn latency_is_a_metric() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x12_000 + case);
+        let net = random_network(&mut rng);
         let n = net.node_count() as u32;
         let d = |a: u32, b: u32| net.path_latency(NodeId(a), NodeId(b)).unwrap();
         for a in 0..n {
-            prop_assert_eq!(d(a, a), SimTime::ZERO);
+            assert_eq!(d(a, a), SimTime::ZERO);
             for b in 0..n {
-                prop_assert_eq!(d(a, b), d(b, a));
+                assert_eq!(d(a, b), d(b, a));
                 for c in 0..n.min(6) {
-                    prop_assert!(d(a, b) <= d(a, c) + d(c, b), "triangle violated");
+                    assert!(d(a, b) <= d(a, c) + d(c, b), "triangle violated");
                 }
             }
         }
     }
+}
 
-    /// Hop-shortest paths never have more hops than latency-shortest ones.
-    #[test]
-    fn hop_paths_minimize_hops(net in network()) {
+/// Hop-shortest paths never have more hops than latency-shortest ones.
+#[test]
+fn hop_paths_minimize_hops() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x13_000 + case);
+        let net = random_network(&mut rng);
         let n = net.node_count() as u32;
         for a in 0..n {
             for b in 0..n {
                 let (a, b) = (NodeId(a), NodeId(b));
                 let hops = net.path_by_hops(a, b).unwrap().len();
                 let lat = net.path_by_latency(a, b).unwrap().len();
-                prop_assert!(hops <= lat);
+                assert!(hops <= lat);
             }
         }
     }
+}
 
-    /// The simulator delivers every routed message exactly once, in
-    /// nondecreasing time order, regardless of the send pattern.
-    #[test]
-    fn routed_sends_deliver_once_in_time_order(
-        net in network(),
-        sends in proptest::collection::vec((0usize..12, 0usize..12, 1usize..2000), 1..30),
-    ) {
+/// The simulator delivers every routed message exactly once, in
+/// nondecreasing time order, regardless of the send pattern.
+#[test]
+fn routed_sends_deliver_once_in_time_order() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x14_000 + case);
+        let net = random_network(&mut rng);
         let n = net.node_count();
         let mut sim: Sim<usize> = Sim::new(net);
         let mut expected = Vec::new();
-        for (i, (a, b, bytes)) in sends.into_iter().enumerate() {
-            let (a, b) = (NodeId((a % n) as u32), NodeId((b % n) as u32));
+        let sends = rng.random_range(1..30u64) as usize;
+        for i in 0..sends {
+            let a = NodeId(rng.random_range(0..n as u64) as u32);
+            let b = NodeId(rng.random_range(0..n as u64) as u32);
+            let bytes = rng.random_range(1..2000u64) as usize;
             sim.send_routed(a, b, bytes, i).unwrap();
             expected.push((i, b));
         }
         let mut seen = Vec::new();
         let mut last = SimTime::ZERO;
         while let Some(d) = sim.pop() {
-            prop_assert!(d.at >= last, "time went backwards");
+            assert!(d.at >= last, "time went backwards");
             last = d.at;
             seen.push((d.msg, d.dst));
         }
         seen.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(seen, expected);
+        assert_eq!(seen, expected);
     }
 }

@@ -1,0 +1,510 @@
+#![warn(missing_docs)]
+
+//! Telemetry/observability subsystem for the provenance-compression
+//! workspace.
+//!
+//! Every layer of the system — the network simulator, the declarative
+//! networking engine, and the provenance recorders — reports into one
+//! shared [`Telemetry`] registry:
+//!
+//! * **Counters, gauges and histograms**, keyed by `(metric, node)`.
+//!   Counters are monotone `u64`s (rules fired, bytes sent, `htequi`
+//!   hits); gauges are last-write-wins values (DB rows); histograms
+//!   aggregate distributions (per-link queueing delay) into count / sum /
+//!   min / max plus power-of-two buckets.
+//! * **An event-trace ring buffer** of the most recent [`TraceEvent`]s
+//!   (rule firings, message sends and drops, recorder stage calls,
+//!   equivalence-key hits vs. misses, `sig` broadcasts), bounded so
+//!   tracing a million-packet run costs constant memory.
+//! * **Periodic snapshots on the simulated clock**: the engine calls
+//!   [`Telemetry::maybe_snapshot`] as simulated time advances; each due
+//!   tick freezes the registry into a [`Snapshot`] that serializes to one
+//!   JSON line (hand-rolled serializer, no serde — the build is
+//!   dependency-free).
+//!
+//! The registry is shared as a [`TelemetryHandle`]
+//! (`Arc<Telemetry>` over an internal `std::sync::Mutex`), cheap to clone
+//! into the simulator, the runtime and the recorders. All time is plain
+//! `u64` nanoseconds of simulated time: this crate sits below
+//! `dpc-netsim`, so it cannot (and need not) name `SimTime`.
+
+pub mod json;
+
+pub use json::Json;
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// A cloneable shared reference to a [`Telemetry`] registry.
+pub type TelemetryHandle = Arc<Telemetry>;
+
+/// What kind of event a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A rule fired in the engine.
+    RuleFired,
+    /// A message entered a link.
+    MsgSend,
+    /// A message was dropped by loss injection.
+    MsgDrop,
+    /// Recorder stage 1 (`on_input`) ran.
+    Stage1,
+    /// Recorder stage 2 (`on_rule`) ran.
+    Stage2,
+    /// Recorder stage 3 (`on_output`) ran.
+    Stage3,
+    /// An equivalence-key check hit an existing class (`htequi` hit).
+    EqHit,
+    /// An equivalence-key check saw a fresh class (`htequi` miss).
+    EqMiss,
+    /// A `sig` broadcast after a slow-table update.
+    Sig,
+}
+
+impl TraceKind {
+    /// Stable lowercase name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::RuleFired => "rule_fired",
+            TraceKind::MsgSend => "msg_send",
+            TraceKind::MsgDrop => "msg_drop",
+            TraceKind::Stage1 => "stage1",
+            TraceKind::Stage2 => "stage2",
+            TraceKind::Stage3 => "stage3",
+            TraceKind::EqHit => "eq_hit",
+            TraceKind::EqMiss => "eq_miss",
+            TraceKind::Sig => "sig",
+        }
+    }
+}
+
+/// One entry in the event-trace ring buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time, nanoseconds.
+    pub at_nanos: u64,
+    /// The node the event happened at, if node-local.
+    pub node: Option<u32>,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Aggregated distribution: count/sum/min/max plus power-of-two buckets
+/// (bucket `i` counts values `v` with `2^(i-1) <= v < 2^i`; bucket 0
+/// counts zeros).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// 65 power-of-two buckets.
+    pub buckets: Vec<u64>,
+}
+
+impl Histogram {
+    fn observe(&mut self, v: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; 65];
+        }
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        let idx = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Metric key: a static metric name plus an optional node scope.
+type Key = (&'static str, Option<u32>);
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, i64>,
+    hists: BTreeMap<Key, Histogram>,
+    trace: VecDeque<TraceEvent>,
+    trace_cap: usize,
+    snapshot_every_nanos: Option<u64>,
+    next_snapshot_nanos: u64,
+    snapshots: Vec<Snapshot>,
+}
+
+/// A frozen copy of the metrics registry at one simulated instant.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Simulated time of the snapshot, nanoseconds.
+    pub at_nanos: u64,
+    /// Counter values.
+    pub counters: BTreeMap<(String, Option<u32>), u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<(String, Option<u32>), i64>,
+    /// Histogram aggregates.
+    pub hists: BTreeMap<(String, Option<u32>), Histogram>,
+}
+
+impl Snapshot {
+    /// Serialize as one JSON object (one line of JSON-lines output).
+    ///
+    /// Schema: `{"type":"snapshot","t_ns":N,"counters":{...},"gauges":
+    /// {...},"hists":{...}}` where each metric map is keyed `name` for
+    /// global metrics and `name#<node>` for per-node ones, in sorted
+    /// order; histogram values are
+    /// `{"count":N,"sum":N,"min":N,"max":N,"mean":F}`.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|((name, node), v)| (render_key(name, *node), Json::UInt(*v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|((name, node), v)| (render_key(name, *node), Json::Int(*v)))
+                .collect(),
+        );
+        let hists = Json::Obj(
+            self.hists
+                .iter()
+                .map(|((name, node), h)| {
+                    (
+                        render_key(name, *node),
+                        Json::obj([
+                            ("count", Json::UInt(h.count)),
+                            ("sum", Json::UInt(h.sum)),
+                            ("min", Json::UInt(h.min)),
+                            ("max", Json::UInt(h.max)),
+                            ("mean", Json::Float(h.mean())),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("type", Json::Str("snapshot".into())),
+            ("t_ns", Json::UInt(self.at_nanos)),
+            ("counters", counters),
+            ("gauges", gauges),
+            ("hists", hists),
+        ])
+    }
+}
+
+fn render_key(name: &str, node: Option<u32>) -> String {
+    match node {
+        None => name.to_string(),
+        Some(n) => format!("{name}#{n}"),
+    }
+}
+
+/// The shared metrics registry + trace buffer + snapshotter.
+///
+/// Construct one per run, wrap it in a [`TelemetryHandle`] with
+/// [`Telemetry::handle`] (or `Arc::new`), and hand clones to the
+/// simulator, runtime and recorder.
+#[derive(Debug)]
+pub struct Telemetry {
+    inner: Mutex<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+/// Default capacity of the event-trace ring buffer.
+pub const DEFAULT_TRACE_CAP: usize = 4096;
+
+impl Telemetry {
+    /// A registry with the default trace capacity and no periodic
+    /// snapshotting (snapshots only on explicit [`Telemetry::snapshot`]).
+    pub fn new() -> Telemetry {
+        Telemetry {
+            inner: Mutex::new(Inner {
+                trace_cap: DEFAULT_TRACE_CAP,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// A shareable handle to a fresh registry.
+    pub fn handle() -> TelemetryHandle {
+        Arc::new(Telemetry::new())
+    }
+
+    /// Enable periodic snapshotting every `every_nanos` of simulated
+    /// time (drives [`Telemetry::maybe_snapshot`]).
+    pub fn set_snapshot_every_nanos(&self, every_nanos: u64) {
+        let mut g = self.lock();
+        g.snapshot_every_nanos = Some(every_nanos.max(1));
+        g.next_snapshot_nanos = every_nanos.max(1);
+    }
+
+    /// Resize the trace ring buffer (drops oldest entries if shrinking).
+    pub fn set_trace_capacity(&self, cap: usize) {
+        let mut g = self.lock();
+        g.trace_cap = cap;
+        while g.trace.len() > cap {
+            g.trace.pop_front();
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Add `delta` to counter `(name, node)`.
+    pub fn count(&self, name: &'static str, node: Option<u32>, delta: u64) {
+        let mut g = self.lock();
+        *g.counters.entry((name, node)).or_insert(0) += delta;
+    }
+
+    /// Set gauge `(name, node)` to `value`.
+    pub fn gauge(&self, name: &'static str, node: Option<u32>, value: i64) {
+        self.lock().gauges.insert((name, node), value);
+    }
+
+    /// Record `value` into histogram `(name, node)`.
+    pub fn observe(&self, name: &'static str, node: Option<u32>, value: u64) {
+        self.lock()
+            .hists
+            .entry((name, node))
+            .or_default()
+            .observe(value);
+    }
+
+    /// Append a trace event (oldest entries fall off past capacity).
+    pub fn trace(&self, at_nanos: u64, node: Option<u32>, kind: TraceKind) {
+        let mut g = self.lock();
+        if g.trace_cap == 0 {
+            return;
+        }
+        if g.trace.len() == g.trace_cap {
+            g.trace.pop_front();
+        }
+        g.trace.push_back(TraceEvent {
+            at_nanos,
+            node,
+            kind,
+        });
+    }
+
+    /// The current value of counter `name` summed over all node scopes.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.lock()
+            .counters
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Per-node values of counter `name` (global entries excluded).
+    pub fn counter_by_node(&self, name: &str) -> BTreeMap<u32, u64> {
+        self.lock()
+            .counters
+            .iter()
+            .filter_map(|((n, node), v)| (*n == name).then_some((*node, *v)))
+            .filter_map(|(node, v)| node.map(|nd| (nd, v)))
+            .collect()
+    }
+
+    /// A copy of the trace ring buffer, oldest first.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.lock().trace.iter().copied().collect()
+    }
+
+    /// Take a snapshot now (at simulated time `at_nanos`), regardless of
+    /// the periodic schedule, and return a copy of it.
+    pub fn snapshot(&self, at_nanos: u64) -> Snapshot {
+        let mut g = self.lock();
+        let snap = freeze(&g, at_nanos);
+        g.snapshots.push(snap.clone());
+        snap
+    }
+
+    /// Snapshot if periodic snapshotting is enabled and simulated time
+    /// has reached the next due tick. Catch-up is single: one snapshot
+    /// per call even if multiple periods elapsed (the registry state in
+    /// between is gone anyway).
+    pub fn maybe_snapshot(&self, now_nanos: u64) {
+        let mut g = self.lock();
+        let Some(every) = g.snapshot_every_nanos else {
+            return;
+        };
+        if now_nanos < g.next_snapshot_nanos {
+            return;
+        }
+        let snap = freeze(&g, now_nanos);
+        g.snapshots.push(snap);
+        let periods = now_nanos / every + 1;
+        g.next_snapshot_nanos = periods * every;
+    }
+
+    /// All snapshots taken so far, oldest first.
+    pub fn snapshots(&self) -> Vec<Snapshot> {
+        self.lock().snapshots.clone()
+    }
+
+    /// Serialize every snapshot as JSON-lines (one object per line).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for s in self.lock().snapshots.iter() {
+            out.push_str(&s.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn freeze(g: &Inner, at_nanos: u64) -> Snapshot {
+    Snapshot {
+        at_nanos,
+        counters: g
+            .counters
+            .iter()
+            .map(|(&(n, nd), &v)| ((n.to_string(), nd), v))
+            .collect(),
+        gauges: g
+            .gauges
+            .iter()
+            .map(|(&(n, nd), &v)| ((n.to_string(), nd), v))
+            .collect(),
+        hists: g
+            .hists
+            .iter()
+            .map(|(&(n, nd), h)| ((n.to_string(), nd), h.clone()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_key() {
+        let t = Telemetry::new();
+        t.count("rules", None, 2);
+        t.count("rules", None, 3);
+        t.count("rules", Some(1), 7);
+        assert_eq!(t.counter_total("rules"), 12);
+        assert_eq!(t.counter_by_node("rules").get(&1), Some(&7));
+        assert!(!t.counter_by_node("rules").contains_key(&0));
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let t = Telemetry::new();
+        for v in [0u64, 1, 2, 3, 1000] {
+            t.observe("delay", None, v);
+        }
+        let snap = t.snapshot(5);
+        let h = &snap.hists[&("delay".to_string(), None)];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1006);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 201.2).abs() < 1e-9);
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[10], 1); // 512 <= 1000 < 1024
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let t = Telemetry::new();
+        t.set_trace_capacity(3);
+        for i in 0..10 {
+            t.trace(i, Some(0), TraceKind::MsgSend);
+        }
+        let events = t.trace_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].at_nanos, 7);
+        assert_eq!(events[2].at_nanos, 9);
+    }
+
+    #[test]
+    fn periodic_snapshots_fire_on_schedule() {
+        let t = Telemetry::new();
+        t.set_snapshot_every_nanos(1000);
+        t.count("c", None, 1);
+        t.maybe_snapshot(500); // not due
+        assert!(t.snapshots().is_empty());
+        t.maybe_snapshot(1000); // due exactly on the tick
+        t.maybe_snapshot(1100); // not due again until 2000
+        t.count("c", None, 1);
+        t.maybe_snapshot(2500); // due (single catch-up)
+        t.maybe_snapshot(2600); // next due is 3000
+        let snaps = t.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].at_nanos, 1000);
+        assert_eq!(snaps[0].counters[&("c".to_string(), None)], 1);
+        assert_eq!(snaps[1].at_nanos, 2500);
+        assert_eq!(snaps[1].counters[&("c".to_string(), None)], 2);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic() {
+        let t = Telemetry::new();
+        t.count("b", Some(2), 5);
+        t.count("b", None, 1);
+        t.count("a", Some(10), 3);
+        t.gauge("g", None, -4);
+        t.observe("h", Some(0), 8);
+        let line = t.snapshot(42).to_json().to_string();
+        assert_eq!(
+            line,
+            "{\"type\":\"snapshot\",\"t_ns\":42,\
+             \"counters\":{\"a#10\":3,\"b\":1,\"b#2\":5},\
+             \"gauges\":{\"g\":-4},\
+             \"hists\":{\"h#0\":{\"count\":1,\"sum\":8,\"min\":8,\"max\":8,\"mean\":8}}}"
+        );
+    }
+
+    #[test]
+    fn json_lines_one_object_per_snapshot() {
+        let t = Telemetry::new();
+        t.count("x", None, 1);
+        t.snapshot(1);
+        t.snapshot(2);
+        let rendered = t.to_json_lines();
+        let lines: Vec<&str> = rendered.trim_end().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"snapshot\",\"t_ns\":1,"));
+        assert!(lines[1].starts_with("{\"type\":\"snapshot\",\"t_ns\":2,"));
+    }
+
+    #[test]
+    fn trace_kind_names_are_stable() {
+        assert_eq!(TraceKind::RuleFired.name(), "rule_fired");
+        assert_eq!(TraceKind::EqMiss.name(), "eq_miss");
+        assert_eq!(TraceKind::Sig.name(), "sig");
+    }
+}

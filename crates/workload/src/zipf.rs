@@ -4,7 +4,7 @@
 //! by the paper in Section 6.2). Implemented via a precomputed CDF and
 //! binary search — no external distribution crate needed.
 
-use rand::Rng;
+use dpc_common::Rng;
 
 /// A Zipf distribution over ranks `0..n` with exponent `s`:
 /// `P(rank k) ∝ 1 / (k+1)^s`.
@@ -55,7 +55,7 @@ impl Zipf {
 
     /// Draw a rank.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
-        let u: f64 = rng.random();
+        let u: f64 = rng.random_f64();
         // First index with cdf >= u.
         match self
             .cdf
@@ -70,8 +70,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dpc_common::SeededRng;
 
     #[test]
     fn pmf_sums_to_one() {
@@ -93,7 +92,7 @@ mod tests {
     #[test]
     fn sampling_matches_pmf_roughly() {
         let z = Zipf::new(5, 1.0);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SeededRng::seed_from_u64(9);
         let mut counts = [0usize; 5];
         let n = 200_000;
         for _ in 0..n {
@@ -120,7 +119,7 @@ mod tests {
     #[test]
     fn single_element_always_samples_zero() {
         let z = Zipf::new(1, 1.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SeededRng::seed_from_u64(1);
         for _ in 0..100 {
             assert_eq!(z.sample(&mut rng), 0);
         }

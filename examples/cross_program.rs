@@ -24,16 +24,14 @@ fn main() {
 
     let net = topo::line(5, Link::STUB_STUB);
     let store = SharedNodeStore::new(5);
-    let mut rt_fwd = Runtime::new(
-        delp_fwd,
-        net.clone(),
-        CrossProgramRecorder::new(keys_fwd, store.clone()),
-    );
-    let mut rt_mir = Runtime::new(
-        delp_mir,
-        net,
-        CrossProgramRecorder::new(keys_mir, store.clone()),
-    );
+    let mut rt_fwd = Runtime::builder(delp_fwd, net.clone())
+        .recorder(CrossProgramRecorder::new(keys_fwd, store.clone()))
+        .build()
+        .expect("forwarding program builds");
+    let mut rt_mir = Runtime::builder(delp_mir, net)
+        .recorder(CrossProgramRecorder::new(keys_mir, store.clone()))
+        .build()
+        .expect("mirror program builds");
     for rt in [&mut rt_fwd, &mut rt_mir] {
         for i in 0..4u32 {
             rt.install(forwarding::route(NodeId(i), NodeId(4), NodeId(i + 1)))

@@ -9,15 +9,14 @@ use dpc::apps::dns;
 use dpc::netsim::topo;
 use dpc::prelude::*;
 use dpc::workload::{mb, Zipf};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dpc_common::SeededRng;
 
 const SERVERS: usize = 100;
 const URLS: usize = 38;
 const REQUESTS: usize = 1500;
 
 fn run<R: ProvRecorder>(recorder: R, seed: u64) -> (Runtime<R>, dns::DnsDeployment) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let tree = topo::tree(
         &mut rng,
         &topo::TreeParams {
@@ -25,7 +24,10 @@ fn run<R: ProvRecorder>(recorder: R, seed: u64) -> (Runtime<R>, dns::DnsDeployme
             ..topo::TreeParams::default()
         },
     );
-    let mut rt = dns::make_runtime(&tree, recorder);
+    let mut rt = dns::runtime_builder(&tree)
+        .recorder(recorder)
+        .build()
+        .expect("the DNS program builds");
     let client = tree.root;
     let dep = dns::deploy(&mut rt, &tree, URLS, &[client]).expect("deployable");
     rt.clear_stats();

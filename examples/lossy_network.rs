@@ -11,7 +11,10 @@ use dpc::prelude::*;
 fn main() {
     let net = topo::line(4, Link::STUB_STUB);
     let keys = equivalence_keys(&programs::packet_forwarding());
-    let mut rt = forwarding::make_runtime(net, AdvancedRecorder::new(4, keys));
+    let mut rt = forwarding::runtime_builder(net)
+        .recorder(AdvancedRecorder::new(4, keys))
+        .build()
+        .expect("the forwarding program builds");
     forwarding::install_routes_for_pairs(&mut rt, &[(NodeId(0), NodeId(3))])
         .expect("line is connected");
 

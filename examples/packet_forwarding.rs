@@ -7,14 +7,13 @@
 use dpc::netsim::topo;
 use dpc::prelude::*;
 use dpc::workload::{mb, random_pairs, Cdf};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dpc_common::SeededRng;
 
 const PAIRS: usize = 40;
 const PACKETS_PER_PAIR: usize = 25;
 
 fn build_pairs(seed: u64) -> (dpc::netsim::Network, Vec<(NodeId, NodeId)>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let ts = topo::transit_stub(&mut rng, &topo::TransitStubParams::default());
     let pairs = random_pairs(&mut rng, &ts.stub, PAIRS);
     (ts.net, pairs)
@@ -22,7 +21,10 @@ fn build_pairs(seed: u64) -> (dpc::netsim::Network, Vec<(NodeId, NodeId)>) {
 
 fn run<R: ProvRecorder>(recorder: R, seed: u64) -> (Runtime<R>, Vec<(NodeId, NodeId)>) {
     let (net, pairs) = build_pairs(seed);
-    let mut rt = forwarding::make_runtime(net, recorder);
+    let mut rt = forwarding::runtime_builder(net)
+        .recorder(recorder)
+        .build()
+        .expect("the forwarding program builds");
     forwarding::install_routes_for_pairs(&mut rt, &pairs).expect("connected topology");
     rt.clear_stats();
     let mut seq = 0u64;

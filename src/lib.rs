@@ -51,6 +51,7 @@ pub use dpc_core as core;
 pub use dpc_engine as engine;
 pub use dpc_ndlog as ndlog;
 pub use dpc_netsim as netsim;
+pub use dpc_telemetry as telemetry;
 pub use dpc_workload as workload;
 
 /// The names most programs need.
@@ -59,9 +60,10 @@ pub mod prelude {
     pub use dpc_common::{EvId, NodeId, Rid, StorageSize, Tuple, Value, Vid};
     pub use dpc_core::{
         query_advanced, query_basic, query_exspan, AdvancedRecorder, BasicRecorder, ExspanRecorder,
-        GroundTruthRecorder, ProvTree, QueryCtx,
+        GroundTruthRecorder, ProvTree, QueryCtx, Scheme,
     };
-    pub use dpc_engine::{NoopRecorder, ProvRecorder, Runtime, TeeRecorder};
+    pub use dpc_engine::{NoopRecorder, ProvRecorder, Runtime, RuntimeBuilder, TeeRecorder};
     pub use dpc_ndlog::{equivalence_keys, parse_program, programs, Delp};
     pub use dpc_netsim::{Link, Network, SimTime};
+    pub use dpc_telemetry::{Telemetry, TelemetryHandle};
 }

@@ -5,8 +5,7 @@ use dpc::apps::{arp, dhcp};
 use dpc::netsim::topo;
 use dpc::prelude::*;
 use dpc::workload::random_pairs;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dpc_common::SeededRng;
 
 fn n(i: u32) -> NodeId {
     NodeId(i)
@@ -17,7 +16,7 @@ fn n(i: u32) -> NodeId {
 /// Advanced < Basic < ExSPAN.
 #[test]
 fn transit_stub_all_schemes_round_trip() {
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SeededRng::seed_from_u64(99);
     let ts = topo::transit_stub(&mut rng, &topo::TransitStubParams::default());
     let pairs = random_pairs(&mut rng, &ts.stub, 10);
     let keys = equivalence_keys(&programs::packet_forwarding());
@@ -207,9 +206,8 @@ fn arp_round_trip_all_schemes() {
 #[test]
 fn relations_of_interest_make_intermediates_queryable() {
     use dpc::apps::dns;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    let mut rng = StdRng::seed_from_u64(23);
+    use dpc_common::SeededRng;
+    let mut rng = SeededRng::seed_from_u64(23);
     let tree = topo::tree(
         &mut rng,
         &topo::TreeParams {
@@ -219,8 +217,11 @@ fn relations_of_interest_make_intermediates_queryable() {
     );
     let keys = equivalence_keys(&programs::dns_resolution());
     let rec = TeeRecorder::new(AdvancedRecorder::new(30, keys), GroundTruthRecorder::new());
-    let mut rt = dns::make_runtime(&tree, rec);
-    rt.set_interest(["dnsResult"]).unwrap();
+    let mut rt = dns::runtime_builder(&tree)
+        .recorder(rec)
+        .interest(["dnsResult"])
+        .build()
+        .unwrap();
     let dep = dns::deploy(&mut rt, &tree, 6, &[tree.root]).unwrap();
 
     // Two resolutions per URL: the second is compressed.
@@ -263,12 +264,26 @@ fn relations_of_interest_make_intermediates_queryable() {
 
 #[test]
 fn interest_rejects_unknown_relations() {
+    use dpc::apps::forwarding;
+    let builds = |rels: [&str; 1]| {
+        forwarding::runtime_builder(topo::star(3, Link::STUB_STUB))
+            .interest(rels)
+            .build()
+    };
+    assert!(builds(["recv"]).is_ok());
+    assert!(builds(["packet"]).is_ok());
+    assert!(builds(["route"]).is_err()); // slow, not derived
+    assert!(builds(["nosuch"]).is_err());
+}
+
+/// The pre-builder mutator API still works (it is deprecated, not gone).
+#[test]
+#[allow(deprecated)]
+fn deprecated_set_interest_shim_still_validates() {
     let net = topo::star(3, Link::STUB_STUB);
     let mut rt = dpc::apps::forwarding::make_runtime(net, NoopRecorder);
     assert!(rt.set_interest(["recv"]).is_ok());
-    assert!(rt.set_interest(["packet"]).is_ok());
     assert!(rt.set_interest(["route"]).is_err()); // slow, not derived
-    assert!(rt.set_interest(["nosuch"]).is_err());
 }
 
 /// The Section 6.1.2 bandwidth claim: with 500-byte payloads, provenance
@@ -276,7 +291,7 @@ fn interest_rejects_unknown_relations() {
 /// schemes.
 #[test]
 fn forwarding_bandwidth_overhead_is_small() {
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = SeededRng::seed_from_u64(3);
     let ts = topo::transit_stub(&mut rng, &topo::TransitStubParams::default());
     let pairs = random_pairs(&mut rng, &ts.stub, 5);
 

@@ -9,8 +9,7 @@
 use dpc::netsim::topo;
 use dpc::prelude::*;
 use dpc::workload::random_pairs;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dpc_common::SeededRng;
 
 /// Figure 8/9's Advanced configuration: 100 pairs x 100 pkt/s x 100 s.
 /// (Advanced only — its storage stays bounded by the pair count; running
@@ -18,18 +17,21 @@ use rand::SeedableRng;
 #[test]
 #[ignore = "paper-scale: ~1M packets, minutes of runtime"]
 fn advanced_at_paper_scale_stays_compressed() {
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = SeededRng::seed_from_u64(42);
     let ts = topo::transit_stub(&mut rng, &topo::TransitStubParams::default());
     let pairs = random_pairs(&mut rng, &ts.stub, 100);
     let keys = equivalence_keys(&programs::packet_forwarding());
-    let mut rt = forwarding::make_runtime(ts.net, AdvancedRecorder::new(100, keys));
     // Lean mode: count outputs and measure storage without materializing
     // a million 500-byte tuples across the network.
-    rt.set_config(dpc::engine::RuntimeConfig {
-        retain_tuples: false,
-        record_outputs: false,
-        ..Default::default()
-    });
+    let mut rt = forwarding::runtime_builder(ts.net)
+        .recorder(AdvancedRecorder::new(100, keys))
+        .config(dpc::engine::RuntimeConfig {
+            retain_tuples: false,
+            record_outputs: false,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     forwarding::install_routes_for_pairs(&mut rt, &pairs).unwrap();
 
     // Inject in one-second waves to bound the pending queue.
@@ -65,16 +67,19 @@ fn advanced_at_paper_scale_stays_compressed() {
 fn dns_advanced_at_paper_scale() {
     use dpc::apps::dns;
     use dpc::workload::Zipf;
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = SeededRng::seed_from_u64(42);
     let tree = topo::tree(&mut rng, &topo::TreeParams::default());
     let keys = equivalence_keys(&programs::dns_resolution());
-    let mut rt = dns::make_runtime(&tree, AdvancedRecorder::new(100, keys));
+    let mut rt = dns::runtime_builder(&tree)
+        .recorder(AdvancedRecorder::new(100, keys))
+        .config(dpc::engine::RuntimeConfig {
+            retain_tuples: false,
+            record_outputs: false,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let dep = dns::deploy(&mut rt, &tree, 38, &[tree.root]).unwrap();
-    rt.set_config(dpc::engine::RuntimeConfig {
-        retain_tuples: false,
-        record_outputs: false,
-        ..Default::default()
-    });
     let zipf = Zipf::new(38, 1.0);
     for wave in 0..100u64 {
         for i in 0..1000u64 {

@@ -192,3 +192,40 @@ fn section51_tree_equivalence() {
     assert!(data.equivalent(url));
     assert!(!data.equivalent(short));
 }
+
+/// Per-node storage after the Table 1-3 workload (Figure 6's two
+/// packets) under any recorder.
+fn storage_after_two_packets<R: ProvRecorder>(rec: R) -> Vec<usize> {
+    let mut rt = deploy(rec);
+    rt.inject(pkt(0, "data")).unwrap();
+    rt.run().unwrap();
+    rt.inject(pkt(0, "url")).unwrap();
+    rt.run().unwrap();
+    (0..3u32).map(|i| rt.recorder().storage_at(n(i))).collect()
+}
+
+/// The [`Scheme::recorder`] factory must be byte-identical to the
+/// hand-constructed recorders on the Table 1-3 deployment — the factory
+/// is pure plumbing, never a behavioral fork.
+#[test]
+fn scheme_factory_matches_hand_constructed_recorders() {
+    let delp = programs::packet_forwarding();
+    let keys = equivalence_keys(&delp);
+    for scheme in Scheme::ALL {
+        let via_factory = storage_after_two_packets(scheme.recorder(&delp, 3));
+        let by_hand = match scheme {
+            Scheme::Noop => storage_after_two_packets(NoopRecorder),
+            Scheme::Exspan => storage_after_two_packets(ExspanRecorder::new(3)),
+            Scheme::Basic => storage_after_two_packets(BasicRecorder::new(3)),
+            Scheme::Advanced => storage_after_two_packets(AdvancedRecorder::new(3, keys.clone())),
+            Scheme::AdvancedInterClass => {
+                storage_after_two_packets(AdvancedRecorder::with_inter_class(3, keys.clone()))
+            }
+        };
+        assert_eq!(via_factory, by_hand, "{scheme} diverged from hand-built");
+        assert!(
+            scheme == Scheme::Noop || via_factory.iter().sum::<usize>() > 0,
+            "{scheme} stored nothing"
+        );
+    }
+}

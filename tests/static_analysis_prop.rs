@@ -1,4 +1,5 @@
-//! Property tests of the static analysis over *randomly generated* DELPs.
+//! Randomized tests of the static analysis over *randomly generated*
+//! DELPs, driven by the in-tree seeded PRNG.
 //!
 //! The generator builds chain programs of the shape
 //!
@@ -15,7 +16,9 @@
 
 use dpc::netsim::topo;
 use dpc::prelude::*;
-use proptest::prelude::*;
+use dpc_common::{Rng, SeededRng};
+
+const CASES: u64 = 48;
 
 /// A generated chain-DELP description.
 #[derive(Debug, Clone)]
@@ -29,6 +32,22 @@ struct ChainProgram {
 }
 
 impl ChainProgram {
+    fn random(rng: &mut SeededRng) -> ChainProgram {
+        let rules = rng.random_range(1..5u64) as usize;
+        let arity = rng.random_range(1..4u64) as usize;
+        let joins = (0..rules)
+            .map(|_| {
+                // A random subset of {1..=arity}.
+                (1..=arity).filter(|_| rng.random_bool(0.5)).collect()
+            })
+            .collect();
+        ChainProgram {
+            rules,
+            arity,
+            joins,
+        }
+    }
+
     fn source(&self) -> String {
         let vars: Vec<String> = (1..=self.arity).map(|j| format!("X{j}")).collect();
         let var_list = vars.join(", ");
@@ -93,44 +112,32 @@ impl ChainProgram {
     }
 }
 
-fn chain_program() -> impl Strategy<Value = ChainProgram> {
-    (1usize..=4, 1usize..=3).prop_flat_map(|(rules, arity)| {
-        proptest::collection::vec(proptest::collection::vec(1..=arity, 0..=arity), rules).prop_map(
-            move |mut joins| {
-                for s in &mut joins {
-                    s.sort_unstable();
-                    s.dedup();
-                }
-                ChainProgram {
-                    rules,
-                    arity,
-                    joins,
-                }
-            },
-        )
-    })
+fn random_bits(rng: &mut SeededRng, n: usize) -> Vec<i64> {
+    (0..n).map(|_| rng.random_range(0..2u64) as i64).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// `GetEquiKeys` matches the closed-form oracle on every generated
-    /// chain program.
-    #[test]
-    fn get_equi_keys_matches_oracle(prog in chain_program()) {
+/// `GetEquiKeys` matches the closed-form oracle on every generated
+/// chain program.
+#[test]
+fn get_equi_keys_matches_oracle() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x31_000 + case);
+        let prog = ChainProgram::random(&mut rng);
         let delp = prog.delp();
         let keys = equivalence_keys(&delp);
-        prop_assert_eq!(keys.rel(), "e0");
-        prop_assert_eq!(keys.indices(), &prog.oracle_keys()[..]);
+        assert_eq!(keys.rel(), "e0");
+        assert_eq!(keys.indices(), &prog.oracle_keys()[..], "{:?}", prog);
     }
+}
 
-    /// Theorem 1 on generated programs: key-equal events give equivalent
-    /// trees; flipping a key attribute breaks equivalence.
-    #[test]
-    fn theorem1_on_generated_programs(
-        prog in chain_program(),
-        base in proptest::collection::vec(0i64..=1, 3),
-    ) {
+/// Theorem 1 on generated programs: key-equal events give equivalent
+/// trees; flipping a key attribute breaks equivalence.
+#[test]
+fn theorem1_on_generated_programs() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x32_000 + case);
+        let prog = ChainProgram::random(&mut rng);
+        let base = random_bits(&mut rng, 3);
         let delp = prog.delp();
         let keys = equivalence_keys(&delp);
         let net = topo::line(prog.rules + 1, Link::STUB_STUB);
@@ -141,14 +148,13 @@ proptest! {
         let ev1 = prog.event(&vals);
 
         // A key-equal sibling: flip one non-key attribute if one exists.
-        let non_key: Option<usize> =
-            (1..=prog.arity).find(|j| !keys.indices().contains(j));
+        let non_key: Option<usize> = (1..=prog.arity).find(|j| !keys.indices().contains(j));
         let mut vals2 = vals.clone();
         if let Some(j) = non_key {
             vals2[j - 1] = 1 - vals2[j - 1];
         }
         let ev2 = prog.event(&vals2);
-        prop_assert!(keys.equivalent(&ev1, &ev2).unwrap());
+        assert!(keys.equivalent(&ev1, &ev2).unwrap());
 
         rt.inject(ev1.clone()).unwrap();
         rt.run().unwrap();
@@ -157,8 +163,8 @@ proptest! {
         let trees = rt.recorder().trees();
         // Both executions complete (ev1 == ev2 is possible when there is
         // no non-key attribute to flip — the engine still runs it twice).
-        prop_assert_eq!(trees.len(), 2);
-        prop_assert!(trees[0].2.equivalent(&trees[1].2));
+        assert_eq!(trees.len(), 2);
+        assert!(trees[0].2.equivalent(&trees[1].2));
 
         // Flip a non-location key attribute, if any rule joins one: the
         // slow tuples along the chain differ, so trees must diverge.
@@ -166,31 +172,30 @@ proptest! {
             let mut vals3 = vals.clone();
             vals3[j - 1] = 1 - vals3[j - 1];
             let ev3 = prog.event(&vals3);
-            prop_assert!(!keys.equivalent(&ev1, &ev3).unwrap());
+            assert!(!keys.equivalent(&ev1, &ev3).unwrap());
             rt.inject(ev3).unwrap();
             rt.run().unwrap();
             let trees = rt.recorder().trees();
             let last = &trees.last().unwrap().2;
-            prop_assert!(!trees[0].2.equivalent(last));
+            assert!(!trees[0].2.equivalent(last));
         }
     }
+}
 
-    /// Theorems 3+5 on generated programs: Advanced round-trips every
-    /// output against the ground truth, including compressed executions.
-    #[test]
-    fn advanced_round_trip_on_generated_programs(
-        prog in chain_program(),
-        flips in proptest::collection::vec(
-            proptest::collection::vec(0i64..=1, 3), 1..5),
-    ) {
+/// Theorems 3+5 on generated programs: Advanced round-trips every
+/// output against the ground truth, including compressed executions.
+#[test]
+fn advanced_round_trip_on_generated_programs() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x33_000 + case);
+        let prog = ChainProgram::random(&mut rng);
+        let flip_count = rng.random_range(1..5u64) as usize;
+        let flips: Vec<Vec<i64>> = (0..flip_count).map(|_| random_bits(&mut rng, 3)).collect();
         let delp = prog.delp();
         let keys = equivalence_keys(&delp);
         let n = prog.rules + 1;
         let net = topo::line(n, Link::STUB_STUB);
-        let rec = TeeRecorder::new(
-            AdvancedRecorder::new(n, keys),
-            GroundTruthRecorder::new(),
-        );
+        let rec = TeeRecorder::new(AdvancedRecorder::new(n, keys), GroundTruthRecorder::new());
         let mut rt = Runtime::new(delp, net, rec);
         prog.deploy(&mut rt);
 
@@ -199,15 +204,18 @@ proptest! {
             rt.inject(prog.event(&vals)).unwrap();
             rt.run().unwrap();
         }
-        prop_assert!(!rt.outputs().is_empty());
-        prop_assert_eq!(rt.recorder().primary.hmap_misses(), 0);
+        assert!(!rt.outputs().is_empty());
+        assert_eq!(rt.recorder().primary.hmap_misses(), 0);
         let ctx = QueryCtx::from_runtime(&rt);
         for out in rt.outputs() {
             let got = query_advanced(&ctx, &rt.recorder().primary, &out.tuple, &out.evid)
                 .expect("queryable");
-            let want = rt.recorder().shadow.tree_for(&out.tuple, &out.evid)
+            let want = rt
+                .recorder()
+                .shadow
+                .tree_for(&out.tuple, &out.evid)
                 .expect("ground truth recorded");
-            prop_assert_eq!(&got.tree, want);
+            assert_eq!(&got.tree, want);
         }
     }
 }

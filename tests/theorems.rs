@@ -7,12 +7,15 @@
 //! * Theorem 5 — the query algorithm returns the correct full tree for
 //!   every stored output.
 //!
-//! Property-based tests drive randomized topologies and workloads through
-//! all schemes and compare against the ground truth.
+//! Randomized topologies and workloads (seeded in-tree PRNG, so every
+//! case reproduces) are driven through all schemes and compared against
+//! the ground truth.
 
 use dpc::netsim::topo;
 use dpc::prelude::*;
-use proptest::prelude::*;
+use dpc_common::{Rng, SeededRng};
+
+const CASES: u64 = 24;
 
 fn n(i: u32) -> NodeId {
     NodeId(i)
@@ -34,21 +37,34 @@ fn full_line<R: ProvRecorder>(len: usize, rec: R) -> Runtime<R> {
     rt
 }
 
-/// One randomized packet: (entry node, destination, payload).
-fn packet_strategy(len: u32) -> impl Strategy<Value = (u32, u32, String)> {
-    (0..len, 0..len, "[a-z]{1,12}").prop_filter("src != dst", |(s, d, _)| s != d)
+fn random_payload(rng: &mut SeededRng) -> String {
+    let len = rng.random_range(1..13u64) as usize;
+    (0..len)
+        .map(|_| (b'a' + rng.random_range(0..26u32) as u8) as char)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// One randomized packet: (entry node, destination, payload) with
+/// `src != dst`.
+fn random_packet(rng: &mut SeededRng, len: u32) -> (u32, u32, String) {
+    let src = rng.random_range(0..len);
+    let dst = loop {
+        let d = rng.random_range(0..len);
+        if d != src {
+            break d;
+        }
+    };
+    (src, dst, random_payload(rng))
+}
 
-    /// Theorem 1: equal key valuations give equivalent trees; different
-    /// destinations (a key attribute) give non-equivalent trees.
-    #[test]
-    fn theorem1_key_equality_implies_tree_equivalence(
-        (src, dst, payload) in packet_strategy(6),
-        other_payload in "[a-z]{1,12}",
-    ) {
+/// Theorem 1: equal key valuations give equivalent trees; different
+/// destinations (a key attribute) give non-equivalent trees.
+#[test]
+fn theorem1_key_equality_implies_tree_equivalence() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x21_000 + case);
+        let (src, dst, payload) = random_packet(&mut rng, 6);
+        let other_payload = random_payload(&mut rng);
         let mut rt = full_line(6, GroundTruthRecorder::new());
         let a = forwarding::packet(n(src), n(src), n(dst), payload.clone());
         let b = forwarding::packet(n(src), n(src), n(dst), format!("{other_payload}!"));
@@ -57,42 +73,52 @@ proptest! {
         rt.inject(b.clone()).unwrap();
         rt.run().unwrap();
         let keys = equivalence_keys(&programs::packet_forwarding());
-        prop_assert!(keys.equivalent(&a, &b).unwrap());
+        assert!(keys.equivalent(&a, &b).unwrap());
         let trees = rt.recorder().trees();
-        prop_assert_eq!(trees.len(), 2);
-        prop_assert!(trees[0].2.equivalent(&trees[1].2));
+        assert_eq!(trees.len(), 2);
+        assert!(trees[0].2.equivalent(&trees[1].2));
     }
+}
 
-    /// Theorems 3+5 for Advanced: every output's queried tree equals the
-    /// ground truth, over random multi-packet workloads.
-    #[test]
-    fn theorem3_and_5_advanced_round_trip(
-        packets in prop::collection::vec(packet_strategy(5), 1..12),
-    ) {
+/// Theorems 3+5 for Advanced: every output's queried tree equals the
+/// ground truth, over random multi-packet workloads.
+#[test]
+fn theorem3_and_5_advanced_round_trip() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x22_000 + case);
+        let count = rng.random_range(1..12u64) as usize;
+        let packets: Vec<_> = (0..count).map(|_| random_packet(&mut rng, 5)).collect();
         let keys = equivalence_keys(&programs::packet_forwarding());
         let rec = TeeRecorder::new(AdvancedRecorder::new(5, keys), GroundTruthRecorder::new());
         let mut rt = full_line(5, rec);
         for (s, d, p) in &packets {
-            rt.inject(forwarding::packet(n(*s), n(*s), n(*d), p.clone())).unwrap();
+            rt.inject(forwarding::packet(n(*s), n(*s), n(*d), p.clone()))
+                .unwrap();
             rt.run().unwrap();
         }
-        prop_assert_eq!(rt.outputs().len(), packets.len());
-        prop_assert_eq!(rt.recorder().primary.hmap_misses(), 0);
+        assert_eq!(rt.outputs().len(), packets.len());
+        assert_eq!(rt.recorder().primary.hmap_misses(), 0);
         let ctx = QueryCtx::from_runtime(&rt);
         for out in rt.outputs() {
             let got = query_advanced(&ctx, &rt.recorder().primary, &out.tuple, &out.evid)
                 .expect("queryable");
-            let want = rt.recorder().shadow.tree_for(&out.tuple, &out.evid)
+            let want = rt
+                .recorder()
+                .shadow
+                .tree_for(&out.tuple, &out.evid)
                 .expect("ground truth recorded");
-            prop_assert_eq!(&got.tree, want);
+            assert_eq!(&got.tree, want);
         }
     }
+}
 
-    /// The same round trip for the inter-class layout (Section 5.4).
-    #[test]
-    fn theorem3_and_5_inter_class_round_trip(
-        packets in prop::collection::vec(packet_strategy(5), 1..10),
-    ) {
+/// The same round trip for the inter-class layout (Section 5.4).
+#[test]
+fn theorem3_and_5_inter_class_round_trip() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x23_000 + case);
+        let count = rng.random_range(1..10u64) as usize;
+        let packets: Vec<_> = (0..count).map(|_| random_packet(&mut rng, 5)).collect();
         let keys = equivalence_keys(&programs::packet_forwarding());
         let rec = TeeRecorder::new(
             AdvancedRecorder::with_inter_class(5, keys),
@@ -100,27 +126,37 @@ proptest! {
         );
         let mut rt = full_line(5, rec);
         for (s, d, p) in &packets {
-            rt.inject(forwarding::packet(n(*s), n(*s), n(*d), p.clone())).unwrap();
+            rt.inject(forwarding::packet(n(*s), n(*s), n(*d), p.clone()))
+                .unwrap();
             rt.run().unwrap();
         }
         let ctx = QueryCtx::from_runtime(&rt);
         for out in rt.outputs() {
             let got = query_advanced(&ctx, &rt.recorder().primary, &out.tuple, &out.evid)
                 .expect("queryable");
-            let want = rt.recorder().shadow.tree_for(&out.tuple, &out.evid)
+            let want = rt
+                .recorder()
+                .shadow
+                .tree_for(&out.tuple, &out.evid)
                 .expect("ground truth recorded");
-            prop_assert_eq!(&got.tree, want);
+            assert_eq!(&got.tree, want);
         }
     }
+}
 
-    /// All three schemes agree with each other (and the oracle) on the
-    /// reconstructed tree of every output.
-    #[test]
-    fn schemes_agree_on_trees(
-        packets in prop::collection::vec(packet_strategy(4), 1..8),
-    ) {
+/// All three schemes agree with each other (and the oracle) on the
+/// reconstructed tree of every output.
+#[test]
+fn schemes_agree_on_trees() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x24_000 + case);
+        let count = rng.random_range(1..8u64) as usize;
+        let packets: Vec<_> = (0..count).map(|_| random_packet(&mut rng, 4)).collect();
         let keys = equivalence_keys(&programs::packet_forwarding());
-        let mut rt_e = full_line(4, TeeRecorder::new(ExspanRecorder::new(4), GroundTruthRecorder::new()));
+        let mut rt_e = full_line(
+            4,
+            TeeRecorder::new(ExspanRecorder::new(4), GroundTruthRecorder::new()),
+        );
         let mut rt_b = full_line(4, BasicRecorder::new(4));
         let mut rt_a = full_line(4, AdvancedRecorder::new(4, keys));
         for (s, d, p) in &packets {
@@ -138,34 +174,48 @@ proptest! {
         let ctx_e = QueryCtx::from_runtime(&rt_e);
         let ctx_b = QueryCtx::from_runtime(&rt_b);
         let ctx_a = QueryCtx::from_runtime(&rt_a);
-        for (oe, (ob, oa)) in rt_e.outputs().iter()
+        for (oe, (ob, oa)) in rt_e
+            .outputs()
+            .iter()
             .zip(rt_b.outputs().iter().zip(rt_a.outputs()))
         {
-            let te = query_exspan(&ctx_e, &rt_e.recorder().primary, &oe.tuple).unwrap().tree;
-            let tb = query_basic(&ctx_b, rt_b.recorder(), &ob.tuple).unwrap().tree;
-            let ta = query_advanced(&ctx_a, rt_a.recorder(), &oa.tuple, &oa.evid).unwrap().tree;
-            let truth = rt_e.recorder().shadow.tree_for(&oe.tuple, &oe.evid).unwrap();
-            prop_assert_eq!(&te, truth);
-            prop_assert_eq!(&tb, truth);
-            prop_assert_eq!(&ta, truth);
+            let te = query_exspan(&ctx_e, &rt_e.recorder().primary, &oe.tuple)
+                .unwrap()
+                .tree;
+            let tb = query_basic(&ctx_b, rt_b.recorder(), &ob.tuple)
+                .unwrap()
+                .tree;
+            let ta = query_advanced(&ctx_a, rt_a.recorder(), &oa.tuple, &oa.evid)
+                .unwrap()
+                .tree;
+            let truth = rt_e
+                .recorder()
+                .shadow
+                .tree_for(&oe.tuple, &oe.evid)
+                .unwrap();
+            assert_eq!(&te, truth);
+            assert_eq!(&tb, truth);
+            assert_eq!(&ta, truth);
         }
     }
+}
 
-    /// Key-hash soundness: events agreeing on keys hash equal; events
-    /// differing on a key attribute hash differently.
-    #[test]
-    fn key_hash_respects_definition2(
-        (src, dst, p1) in packet_strategy(6),
-        p2 in "[a-z]{1,12}",
-        other_dst in 0..6u32,
-    ) {
+/// Key-hash soundness: events agreeing on keys hash equal; events
+/// differing on a key attribute hash differently.
+#[test]
+fn key_hash_respects_definition2() {
+    for case in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(0x25_000 + case);
+        let (src, dst, p1) = random_packet(&mut rng, 6);
+        let p2 = random_payload(&mut rng);
+        let other_dst = rng.random_range(0..6u32);
         let keys = equivalence_keys(&programs::packet_forwarding());
         let a = forwarding::packet(n(src), n(src), n(dst), p1);
         let b = forwarding::packet(n(src), n(src), n(dst), p2);
-        prop_assert_eq!(keys.hash(&a).unwrap(), keys.hash(&b).unwrap());
+        assert_eq!(keys.hash(&a).unwrap(), keys.hash(&b).unwrap());
         if other_dst != dst {
             let c = forwarding::packet(n(src), n(src), n(other_dst), "x");
-            prop_assert_ne!(keys.hash(&a).unwrap(), keys.hash(&c).unwrap());
+            assert_ne!(keys.hash(&a).unwrap(), keys.hash(&c).unwrap());
         }
     }
 }
@@ -174,9 +224,7 @@ proptest! {
 #[test]
 fn dns_advanced_round_trip() {
     use dpc::apps::dns;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    let mut rng = StdRng::seed_from_u64(17);
+    let mut rng = SeededRng::seed_from_u64(17);
     let tree = topo::tree(
         &mut rng,
         &topo::TreeParams {
