@@ -5,7 +5,9 @@
 //! tracks the packet count; Advanced grows with the pair count because
 //! each pair is one equivalence class, yet stays far below the other two.
 
-use dpc_bench::{emit_run_json_with, print_series, run_forwarding, Cli, FwdConfig, Scheme};
+use dpc_bench::{
+    emit_run_json_with, print_series, run_forwarding, span_histograms_json, Cli, FwdConfig, Scheme,
+};
 use dpc_netsim::SimTime;
 use dpc_telemetry::json::Json;
 
@@ -27,6 +29,7 @@ fn main() {
                 pairs,
                 total_packets: Some(total_packets),
                 duration: SimTime::from_secs(4),
+                trace_sample: if cli.trace { cli.trace_sample } else { 0 },
                 ..FwdConfig::default()
             };
             let out = run_forwarding(scheme, &cfg);
@@ -37,6 +40,11 @@ fn main() {
                     vec![("pairs", Json::UInt(pairs as u64))],
                     &out.m,
                 );
+                if cli.trace {
+                    for row in span_histograms_json(&out.m.telemetry.spans()) {
+                        println!("{row}");
+                    }
+                }
             }
             ys.push(dpc_workload::mb(out.m.total_storage()));
         }

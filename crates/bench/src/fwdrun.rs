@@ -37,6 +37,9 @@ pub struct FwdConfig {
     /// If set, send exactly this many packets, evenly spread over the
     /// pairs and the duration (Figure 10/11 style).
     pub total_packets: Option<usize>,
+    /// Head-based span sampling: trace every `n`-th execution (0 = span
+    /// tracing off, the default; 1 = trace everything).
+    pub trace_sample: u64,
 }
 
 impl Default for FwdConfig {
@@ -50,6 +53,7 @@ impl Default for FwdConfig {
             snapshot_every: SimTime::from_secs(1),
             route_update_every: None,
             total_packets: None,
+            trace_sample: 0,
         }
     }
 }
@@ -102,13 +106,19 @@ fn run_generic<R: ProvRecorder>(cfg: &FwdConfig, make: impl FnOnce(usize) -> R) 
 }
 
 /// Build the topology, install routes, inject the whole schedule.
-fn prepare<R: ProvRecorder>(cfg: &FwdConfig, make: impl FnOnce(usize) -> R) -> (Runtime<R>, usize) {
+pub(crate) fn prepare<R: ProvRecorder>(
+    cfg: &FwdConfig,
+    make: impl FnOnce(usize) -> R,
+) -> (Runtime<R>, usize) {
     let mut rng = SeededRng::seed_from_u64(cfg.seed);
     let ts = topo::transit_stub(&mut rng, &topo::TransitStubParams::default());
     let n = ts.net.node_count();
     let mut rt = forwarding::make_runtime(ts.net, make(n));
     let telemetry = Telemetry::handle();
     telemetry.set_snapshot_every_nanos(cfg.snapshot_every.as_nanos());
+    if cfg.trace_sample > 0 {
+        telemetry.set_span_sampling(cfg.trace_sample);
+    }
     rt.attach_telemetry(telemetry);
     let pairs = random_pairs(&mut rng, &ts.stub, cfg.pairs);
     forwarding::install_routes_for_pairs(&mut rt, &pairs).expect("transit-stub is connected");
@@ -289,6 +299,7 @@ pub fn simulated_query_means(cfg: &FwdConfig, queries: usize) -> (f64, f64) {
                 &rt_e,
                 QueryCostModel::default(),
                 t,
+                None,
             )
             .expect("stored output is queryable")
             .latency
@@ -313,6 +324,7 @@ pub fn simulated_query_means(cfg: &FwdConfig, queries: usize) -> (f64, f64) {
                 QueryCostModel::default(),
                 t,
                 evid,
+                None,
             )
             .expect("stored output is queryable")
             .latency
@@ -324,7 +336,7 @@ pub fn simulated_query_means(cfg: &FwdConfig, queries: usize) -> (f64, f64) {
     (exspan_mean, adv_mean)
 }
 
-fn sample_outputs<R: ProvRecorder>(
+pub(crate) fn sample_outputs<R: ProvRecorder>(
     rt: &Runtime<R>,
     k: usize,
     rng: &mut SeededRng,

@@ -13,6 +13,7 @@ pub mod fwdrun;
 #[cfg(feature = "microbench")]
 pub mod microbench;
 pub mod report;
+pub mod tracerun;
 
 use dpc_common::NodeId;
 use dpc_netsim::SimTime;
@@ -21,6 +22,10 @@ use dpc_telemetry::TelemetryHandle;
 pub use dnsrun::{run_dns, DnsConfig, DnsRunOutput};
 pub use fwdrun::{
     forwarding_query_latencies, run_forwarding, simulated_query_means, FwdConfig, FwdRunOutput,
+};
+pub use tracerun::{
+    aggregate_breakdown, print_trace_report, query_summaries, run_traced_queries,
+    span_histograms_json, trace_summary_json, QuerySummary, TraceRunOutput,
 };
 
 /// Run the forwarding workload under several schemes in parallel (the
@@ -131,6 +136,11 @@ pub struct Cli {
     pub seed: u64,
     /// Emit machine-readable JSON-lines records instead of plain text.
     pub json: bool,
+    /// Record causal spans during runs that support tracing.
+    pub trace: bool,
+    /// Head-based sampling rate for execution traces: trace 1 in every
+    /// `trace_sample` executions (1 = everything).
+    pub trace_sample: u64,
 }
 
 impl Default for Cli {
@@ -139,6 +149,8 @@ impl Default for Cli {
             paper_scale: false,
             seed: 42,
             json: false,
+            trace: false,
+            trace_sample: 1,
         }
     }
 }
@@ -149,7 +161,9 @@ impl Cli {
         match Self::parse_from(std::env::args().skip(1)) {
             Ok(cli) => cli,
             Err(msg) => {
-                eprintln!("{msg}\nusage: [--paper-scale] [--seed <n>] [--json]");
+                eprintln!(
+                    "{msg}\nusage: [--paper-scale] [--seed <n>] [--json] [--trace] [--trace-sample <n>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -168,6 +182,15 @@ impl Cli {
             match a.as_str() {
                 "--paper-scale" => cli.paper_scale = true,
                 "--json" => cli.json = true,
+                "--trace" => cli.trace = true,
+                "--trace-sample" => {
+                    cli.trace = true;
+                    cli.trace_sample = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| "--trace-sample requires an integer >= 1".to_string())?;
+                }
                 "--seed" => {
                     cli.seed = args
                         .next()
@@ -198,7 +221,17 @@ mod tests {
         assert!(cli.paper_scale);
         assert_eq!(cli.seed, 7);
         assert!(!cli.json);
+        assert!(!cli.trace);
+        assert_eq!(cli.trace_sample, 1);
         assert!(Cli::parse_from(["--json"]).unwrap().json);
+        let cli = Cli::parse_from(["--trace"]).unwrap();
+        assert!(cli.trace);
+        assert_eq!(cli.trace_sample, 1);
+        let cli = Cli::parse_from(["--trace-sample", "8"]).unwrap();
+        assert!(cli.trace);
+        assert_eq!(cli.trace_sample, 8);
+        assert!(Cli::parse_from(["--trace-sample", "0"]).is_err());
+        assert!(Cli::parse_from(["--trace-sample"]).is_err());
         assert!(Cli::parse_from(["--seed"]).is_err());
         assert!(Cli::parse_from(["--seed", "abc"]).is_err());
         assert!(Cli::parse_from(["--bogus"]).is_err());

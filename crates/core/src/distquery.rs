@@ -18,6 +18,7 @@ use dpc_common::{Error, EvId, NodeId, Result, Rid, Tuple};
 use dpc_engine::FnRegistry;
 use dpc_ndlog::Delp;
 use dpc_netsim::{Network, Sim, SimTime};
+use dpc_telemetry::{AttrValue, SpanContext, TelemetryHandle};
 
 use crate::query::{AdvancedStore, QueryCostModel, TupleResolver};
 use crate::reconstruct::{reconstruct, ChainLevel};
@@ -35,6 +36,91 @@ pub struct SimulatedQuery {
     pub messages: u64,
     /// Bytes carried across all hops.
     pub bytes: u64,
+}
+
+/// Tracing options for a simulated query: where the spans go, and where
+/// on the shared trace timeline this query starts.
+///
+/// Each query runs its own private [`Sim`] whose clock starts at zero;
+/// `start` offsets the whole query so many queries laid on one exported
+/// timeline don't overlay. Pass the previous query's end as the next
+/// `start` (or leave [`SimTime::ZERO`] for a single query).
+#[derive(Clone)]
+pub struct QueryTrace {
+    /// Sink receiving the spans.
+    pub telemetry: TelemetryHandle,
+    /// Trace-timeline instant at which this query begins.
+    pub start: SimTime,
+}
+
+/// Per-query tracer: the root "query" span plus helpers for the closed
+/// child spans every protocol stage emits. A `None` trace makes every
+/// call free.
+struct QTracer {
+    tel: Option<TelemetryHandle>,
+    root: SpanContext,
+    /// The simulated instant the query started at (the trace offset).
+    base: SimTime,
+}
+
+impl QTracer {
+    /// Offset `sim` to the trace start, attach the sink and open the root
+    /// span annotated with `scheme`.
+    fn start<M>(trace: Option<&QueryTrace>, sim: &mut Sim<M>, querier: NodeId) -> QTracer {
+        let Some(qt) = trace else {
+            return QTracer {
+                tel: None,
+                root: SpanContext::NONE,
+                base: SimTime::ZERO,
+            };
+        };
+        if qt.start > SimTime::ZERO {
+            // The heap is empty: this just advances the clock.
+            let _ = sim.pop_until(qt.start);
+        }
+        sim.set_telemetry(qt.telemetry.clone());
+        let root = qt
+            .telemetry
+            .span_root("query", Some(querier.0), sim.now().as_nanos());
+        QTracer {
+            tel: Some(qt.telemetry.clone()),
+            root,
+            base: qt.start,
+        }
+    }
+
+    fn attr(&self, key: &'static str, value: AttrValue) {
+        if let Some(t) = &self.tel {
+            t.span_attr(self.root, key, value);
+        }
+    }
+
+    /// Emit a closed child span of the root covering `[start, end]`.
+    fn stage(&self, name: &'static str, node: NodeId, start: SimTime, end: SimTime) -> SpanContext {
+        let Some(t) = &self.tel else {
+            return SpanContext::NONE;
+        };
+        let s = t.span_child(name, Some(node.0), self.root, start.as_nanos());
+        t.span_end(s, end.as_nanos());
+        s
+    }
+
+    /// Like [`QTracer::stage`] with rows/bytes annotations.
+    fn fetch(&self, node: NodeId, start: SimTime, end: SimTime, rows: usize, bytes: usize) {
+        let Some(t) = &self.tel else { return };
+        let s = self.stage("query.fetch", node, start, end);
+        t.span_attr(s, "rows", AttrValue::UInt(rows as u64));
+        t.span_attr(s, "bytes", AttrValue::UInt(bytes as u64));
+    }
+
+    /// Close the root at `end` with the run totals.
+    fn finish(&self, end: SimTime, messages: u64, bytes: u64) {
+        if let Some(t) = &self.tel {
+            t.span_attr(self.root, "messages", AttrValue::UInt(messages));
+            t.span_attr(self.root, "bytes", AttrValue::UInt(bytes));
+            t.span_end(self.root, end.as_nanos());
+        }
+    }
 }
 
 /// The traveling query's accumulated state.
@@ -79,6 +165,7 @@ pub fn simulate_query_advanced<S: AdvancedStore>(
     cost: QueryCostModel,
     output: &Tuple,
     evid: &EvId,
+    trace: Option<&QueryTrace>,
 ) -> Result<SimulatedQuery> {
     let querier = output.loc()?;
     let provs = rec.lookup_prov(querier, &output.vid(), evid);
@@ -87,7 +174,17 @@ pub fn simulate_query_advanced<S: AdvancedStore>(
     })?;
 
     let mut sim: Sim<QMsg> = Sim::new(net.clone());
+    let tr = QTracer::start(trace, &mut sim, querier);
+    tr.attr("scheme", AttrValue::Str("advanced".into()));
     // The prov lookup happens at the querier, then the query departs.
+    // Advanced resolves the prov row through the equivalence-tagged
+    // table, so the initial lookup is equivalence work.
+    tr.stage(
+        "query.eq_lookup",
+        querier,
+        sim.now(),
+        sim.now() + cost.per_row_proc,
+    );
     let state = State {
         querier,
         evid: *evid,
@@ -116,10 +213,11 @@ pub fn simulate_query_advanced<S: AdvancedStore>(
                 if to == node {
                     sim.schedule_local(node, SimTime::ZERO, *inner);
                 } else {
-                    sim.send_routed(node, to, bytes, *inner)?;
+                    sim.send_routed_traced(node, to, bytes, *inner, tr.root)?;
                 }
             }
             QMsg::Step { rid, mut state } => {
+                let step_at = sim.now();
                 let view = rec.lookup_rule_exec(node, &rid).ok_or_else(|| {
                     Error::ProvenanceLookup(format!("no ruleExec node {rid} at {node}"))
                 })?;
@@ -139,6 +237,7 @@ pub fn simulate_query_advanced<S: AdvancedStore>(
                 });
                 state.payload += fetched;
                 let proc = SimTime::from_nanos(cost.per_row_proc.as_nanos() * rows as u64);
+                tr.fetch(node, step_at, step_at + proc, rows, fetched);
                 match view.next {
                     Some((nloc, nrid)) => {
                         let bytes = REQUEST_BYTES + state.payload;
@@ -188,6 +287,18 @@ pub fn simulate_query_advanced<S: AdvancedStore>(
     let network_latency = sim.now();
     let event = state.event.expect("set on the tail branch");
     let reexec = SimTime::from_nanos(cost.reexec_per_rule.as_nanos() * state.levels.len() as u64);
+    tr.stage(
+        "query.reexec",
+        querier,
+        network_latency,
+        network_latency + reexec,
+    );
+    tr.attr("hops", AttrValue::UInt(state.levels.len() as u64));
+    tr.finish(
+        network_latency + reexec,
+        sim.stats().messages(),
+        sim.stats().total_bytes(),
+    );
     let tree = reconstruct(delp, fns, &state.levels, &event)?;
     if tree.output() != output {
         return Err(Error::ProvenanceLookup(format!(
@@ -197,7 +308,7 @@ pub fn simulate_query_advanced<S: AdvancedStore>(
     }
     Ok(SimulatedQuery {
         tree,
-        latency: network_latency + reexec,
+        latency: (network_latency - tr.base) + reexec,
         messages: sim.stats().messages(),
         bytes: sim.stats().total_bytes(),
     })
@@ -208,6 +319,7 @@ pub fn simulate_query_advanced<S: AdvancedStore>(
 /// [`simulate_query_advanced`], except the input event is referenced by
 /// its `vid` in the chain tail's `VIDS` column (Table 2) instead of by
 /// `evid`.
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_query_basic(
     net: &Network,
     rec: &crate::basic::BasicRecorder,
@@ -216,6 +328,7 @@ pub fn simulate_query_basic(
     fns: &FnRegistry,
     cost: QueryCostModel,
     output: &Tuple,
+    trace: Option<&QueryTrace>,
 ) -> Result<SimulatedQuery> {
     let querier = output.loc()?;
     let prov = rec
@@ -228,6 +341,14 @@ pub fn simulate_query_basic(
     );
 
     let mut sim: Sim<QMsg> = Sim::new(net.clone());
+    let tr = QTracer::start(trace, &mut sim, querier);
+    tr.attr("scheme", AttrValue::Str("basic".into()));
+    tr.stage(
+        "query.lookup",
+        querier,
+        sim.now(),
+        sim.now() + cost.per_row_proc,
+    );
     let state = State {
         querier,
         evid: EvId::of_bytes(b"basic-unused"),
@@ -253,10 +374,11 @@ pub fn simulate_query_basic(
                 if to == node {
                     sim.schedule_local(node, SimTime::ZERO, *inner);
                 } else {
-                    sim.send_routed(node, to, bytes, *inner)?;
+                    sim.send_routed_traced(node, to, bytes, *inner, tr.root)?;
                 }
             }
             QMsg::Step { rid, mut state } => {
+                let step_at = sim.now();
                 let row = rec
                     .rule_exec(node, &rid)
                     .ok_or_else(|| {
@@ -289,6 +411,7 @@ pub fn simulate_query_basic(
                 });
                 state.payload += fetched;
                 let proc = SimTime::from_nanos(cost.per_row_proc.as_nanos() * rows as u64);
+                tr.fetch(node, step_at, step_at + proc, rows, fetched);
                 match row.next {
                     Some((nloc, nrid)) => {
                         let bytes = REQUEST_BYTES + state.payload;
@@ -334,8 +457,21 @@ pub fn simulate_query_basic(
 
     let state = finished
         .ok_or_else(|| Error::ProvenanceLookup("query never returned to the querier".into()))?;
+    let network_latency = sim.now();
     let event = state.event.expect("set on the tail branch");
     let reexec = SimTime::from_nanos(cost.reexec_per_rule.as_nanos() * state.levels.len() as u64);
+    tr.stage(
+        "query.reexec",
+        querier,
+        network_latency,
+        network_latency + reexec,
+    );
+    tr.attr("hops", AttrValue::UInt(state.levels.len() as u64));
+    tr.finish(
+        network_latency + reexec,
+        sim.stats().messages(),
+        sim.stats().total_bytes(),
+    );
     let tree = reconstruct(delp, fns, &state.levels, &event)?;
     if tree.output() != output {
         return Err(Error::ProvenanceLookup(format!(
@@ -345,7 +481,7 @@ pub fn simulate_query_basic(
     }
     Ok(SimulatedQuery {
         tree,
-        latency: sim.now() + reexec,
+        latency: (network_latency - tr.base) + reexec,
         messages: sim.stats().messages(),
         bytes: sim.stats().total_bytes(),
     })
@@ -388,6 +524,7 @@ pub fn simulate_query_exspan(
     resolver: &dyn TupleResolver,
     cost: QueryCostModel,
     output: &Tuple,
+    trace: Option<&QueryTrace>,
 ) -> Result<SimulatedQuery> {
     let querier = output.loc()?;
     let prov = rec
@@ -401,6 +538,14 @@ pub fn simulate_query_exspan(
     };
 
     let mut sim: Sim<EMsg> = Sim::new(net.clone());
+    let tr = QTracer::start(trace, &mut sim, querier);
+    tr.attr("scheme", AttrValue::Str("exspan".into()));
+    tr.stage(
+        "query.lookup",
+        querier,
+        sim.now(),
+        sim.now() + SimTime::from_nanos(cost.per_row_proc.as_nanos() * 2),
+    );
     // The local prov+content lookup, then the first request departs.
     sim.schedule_local(
         querier,
@@ -427,10 +572,11 @@ pub fn simulate_query_exspan(
                 if to == node {
                     sim.schedule_local(node, SimTime::ZERO, *inner);
                 } else {
-                    sim.send_routed(node, to, bytes, *inner)?;
+                    sim.send_routed_traced(node, to, bytes, *inner, tr.root)?;
                 }
             }
             EMsg::Req { rid, reply_to } => {
+                let req_at = sim.now();
                 let re = rec
                     .rule_exec(node, &rid)
                     .ok_or_else(|| {
@@ -473,6 +619,7 @@ pub fn simulate_query_exspan(
                     slow.push(t);
                 }
                 let proc = SimTime::from_nanos(cost.per_row_proc.as_nanos() * rows as u64);
+                tr.fetch(node, req_at, req_at + proc, rows, bytes);
                 sim.schedule_local(
                     node,
                     proc,
@@ -499,7 +646,7 @@ pub fn simulate_query_exspan(
                 cur_output = event.clone();
                 match event_deriv {
                     Some((next_loc, next_rid)) => {
-                        sim.send_routed(
+                        sim.send_routed_traced(
                             querier,
                             next_loc,
                             REQUEST_BYTES,
@@ -507,6 +654,7 @@ pub fn simulate_query_exspan(
                                 rid: next_rid,
                                 reply_to: querier,
                             },
+                            tr.root,
                         )?;
                     }
                     None => {
@@ -520,6 +668,8 @@ pub fn simulate_query_exspan(
 
     let event = leaf_event
         .ok_or_else(|| Error::ProvenanceLookup("query never reached a base event".into()))?;
+    tr.attr("hops", AttrValue::UInt(levels.len() as u64));
+    tr.finish(sim.now(), sim.stats().messages(), sim.stats().total_bytes());
     // Fold the levels (root-first) into the tree, leaf up.
     let (rule, out_t, slow) = levels.pop().expect("at least one level");
     let mut tree = ProvTree::Leaf {
@@ -544,7 +694,7 @@ pub fn simulate_query_exspan(
     }
     Ok(SimulatedQuery {
         tree,
-        latency: sim.now(),
+        latency: sim.now() - tr.base,
         messages: sim.stats().messages(),
         bytes: sim.stats().total_bytes(),
     })
@@ -591,6 +741,7 @@ mod tests {
             QueryCostModel::default(),
             &out.tuple,
             &out.evid,
+            None,
         )
         .unwrap();
         let truth = rt
@@ -617,6 +768,7 @@ mod tests {
             cost,
             &out.tuple,
             &out.evid,
+            None,
         )
         .unwrap();
         let mut ctx = QueryCtx::from_runtime(&rt);
@@ -657,6 +809,7 @@ mod tests {
             &rt,
             QueryCostModel::default(),
             &out.tuple,
+            None,
         )
         .unwrap();
         let truth = rt
@@ -672,8 +825,15 @@ mod tests {
         let rt = setup_exspan(7);
         let out = rt.outputs()[0].clone();
         let cost = QueryCostModel::default();
-        let simulated =
-            simulate_query_exspan(rt.net(), &rt.recorder().primary, &rt, cost, &out.tuple).unwrap();
+        let simulated = simulate_query_exspan(
+            rt.net(),
+            &rt.recorder().primary,
+            &rt,
+            cost,
+            &out.tuple,
+            None,
+        )
+        .unwrap();
         let mut ctx = QueryCtx::from_runtime(&rt);
         ctx.cost = cost;
         let analytic = crate::query::query_exspan(&ctx, &rt.recorder().primary, &out.tuple)
@@ -702,6 +862,7 @@ mod tests {
             &rt_e,
             QueryCostModel::default(),
             &out_e.tuple,
+            None,
         )
         .unwrap();
 
@@ -716,6 +877,7 @@ mod tests {
             QueryCostModel::default(),
             &out_a.tuple,
             &out_a.evid,
+            None,
         )
         .unwrap();
 
@@ -750,6 +912,7 @@ mod tests {
             rt.fns(),
             QueryCostModel::default(),
             &out.tuple,
+            None,
         )
         .unwrap();
         let truth = rt
@@ -772,10 +935,124 @@ mod tests {
             QueryCostModel::default(),
             &out_a.tuple,
             &out_a.evid,
+            None,
         )
         .unwrap();
         let ratio = res.latency.as_secs_f64() / adv.latency.as_secs_f64();
         assert!((0.8..=1.3).contains(&ratio), "basic/advanced ratio {ratio}");
+    }
+
+    #[test]
+    fn traced_query_breakdown_covers_root_exactly() {
+        let rt = setup(6);
+        let out = rt.outputs()[0].clone();
+        let tel = dpc_telemetry::Telemetry::handle();
+        tel.set_span_sampling(1);
+        let qt = QueryTrace {
+            telemetry: tel.clone(),
+            start: SimTime::ZERO,
+        };
+        let res = simulate_query_advanced(
+            rt.net(),
+            &rt.recorder().primary,
+            &rt,
+            rt.delp(),
+            rt.fns(),
+            QueryCostModel::default(),
+            &out.tuple,
+            &out.evid,
+            Some(&qt),
+        )
+        .unwrap();
+        let spans = tel.spans();
+        assert_eq!(tel.open_span_count(), 0);
+        let by_trace = dpc_telemetry::spans_by_trace(&spans);
+        assert_eq!(by_trace.len(), 1);
+        let tree = by_trace.values().next().unwrap();
+        dpc_telemetry::check_well_formed(tree).unwrap();
+        let root = tree.iter().find(|s| s.parent.is_none()).unwrap();
+        assert_eq!(root.name, "query");
+        // The root covers exactly the reported latency.
+        assert_eq!(root.duration_ns(), res.latency.as_nanos());
+        // Critical path: all four categories are exercised and the
+        // components sum to the root duration exactly.
+        let bd = dpc_telemetry::critical_path(tree).unwrap();
+        assert_eq!(bd.total(), root.duration_ns());
+        assert!(bd.network > 0, "{bd:?}");
+        assert!(bd.join > 0, "reexec time: {bd:?}");
+        assert!(bd.equivalence > 0, "initial eq lookup: {bd:?}");
+        assert!(bd.storage > 0, "per-hop fetches: {bd:?}");
+    }
+
+    #[test]
+    fn traced_queries_offset_on_a_shared_timeline() {
+        let rt = setup(4);
+        let out = rt.outputs()[0].clone();
+        let tel = dpc_telemetry::Telemetry::handle();
+        tel.set_span_sampling(1);
+        let mut cursor = SimTime::ZERO;
+        let mut latencies = Vec::new();
+        for _ in 0..2 {
+            let qt = QueryTrace {
+                telemetry: tel.clone(),
+                start: cursor,
+            };
+            let res = simulate_query_advanced(
+                rt.net(),
+                &rt.recorder().primary,
+                &rt,
+                rt.delp(),
+                rt.fns(),
+                QueryCostModel::default(),
+                &out.tuple,
+                &out.evid,
+                Some(&qt),
+            )
+            .unwrap();
+            cursor += res.latency;
+            latencies.push(res.latency);
+        }
+        // Offsetting must not change the measured latency.
+        assert_eq!(latencies[0], latencies[1]);
+        let spans = tel.spans();
+        let by_trace = dpc_telemetry::spans_by_trace(&spans);
+        assert_eq!(by_trace.len(), 2);
+        let mut roots: Vec<_> = spans.iter().filter(|s| s.parent.is_none()).collect();
+        roots.sort_by_key(|s| s.start_ns);
+        // The second query's trace begins where the first ended.
+        assert_eq!(roots[0].start_ns, 0);
+        assert_eq!(roots[1].start_ns, roots[0].end_ns.unwrap());
+    }
+
+    #[test]
+    fn traced_exspan_query_is_well_formed() {
+        let rt = setup_exspan(5);
+        let out = rt.outputs()[0].clone();
+        let tel = dpc_telemetry::Telemetry::handle();
+        tel.set_span_sampling(1);
+        let qt = QueryTrace {
+            telemetry: tel.clone(),
+            start: SimTime::ZERO,
+        };
+        let res = simulate_query_exspan(
+            rt.net(),
+            &rt.recorder().primary,
+            &rt,
+            QueryCostModel::default(),
+            &out.tuple,
+            Some(&qt),
+        )
+        .unwrap();
+        let spans = tel.spans();
+        let by_trace = dpc_telemetry::spans_by_trace(&spans);
+        let tree = by_trace.values().next().unwrap();
+        dpc_telemetry::check_well_formed(tree).unwrap();
+        let root = tree.iter().find(|s| s.parent.is_none()).unwrap();
+        assert_eq!(root.duration_ns(), res.latency.as_nanos());
+        let bd = dpc_telemetry::critical_path(tree).unwrap();
+        assert_eq!(bd.total(), root.duration_ns());
+        // Querier-driven rounds: network dominates on a 5-node line.
+        assert!(bd.network > bd.storage, "{bd:?}");
     }
 
     #[test]
@@ -791,6 +1068,7 @@ mod tests {
             QueryCostModel::default(),
             &bogus,
             &rt.outputs()[0].evid,
+            None,
         )
         .unwrap_err();
         assert!(err.to_string().contains("no prov row"), "{err}");
@@ -811,6 +1089,7 @@ mod tests {
             QueryCostModel::default(),
             &out.tuple,
             &out.evid,
+            None,
         )
         .unwrap();
         // Forward: querier(n5) -> n5 (local) is free; chain walks n5 ->

@@ -49,7 +49,8 @@ pub use advanced::AdvancedRecorder;
 pub use basic::BasicRecorder;
 pub use crossprog::{CrossProgramRecorder, SharedNodeStore};
 pub use distquery::{
-    simulate_query_advanced, simulate_query_basic, simulate_query_exspan, SimulatedQuery,
+    simulate_query_advanced, simulate_query_basic, simulate_query_exspan, QueryTrace,
+    SimulatedQuery,
 };
 pub use exspan::ExspanRecorder;
 pub use query::{

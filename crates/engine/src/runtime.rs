@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use dpc_common::{Error, EvId, NodeId, Result, StorageSize, Tuple, Vid};
 use dpc_ndlog::Delp;
 use dpc_netsim::{Network, Sim, SimTime, TrafficStats};
-use dpc_telemetry::{TelemetryHandle, TraceKind};
+use dpc_telemetry::{AttrValue, SpanContext, TelemetryHandle, TraceKind};
 
 use crate::db::Database;
 use crate::eval::{eval_rule, FnRegistry};
@@ -289,8 +289,7 @@ impl<R: ProvRecorder> Runtime<R> {
     /// concrete provenance associations (a stage 3 call per derived
     /// tuple), so administrators can query them directly instead of
     /// replaying. Output relations are always of interest and need not be
-    /// listed. Shared by [`RuntimeBuilder::build`] and the deprecated
-    /// [`Runtime::set_interest`] shim.
+    /// listed. Called from [`RuntimeBuilder::build`].
     fn apply_interest<I, S>(&mut self, rels: I) -> Result<()>
     where
         I: IntoIterator<Item = S>,
@@ -314,32 +313,6 @@ impl<R: ProvRecorder> Runtime<R> {
         }
         self.interest = set;
         Ok(())
-    }
-
-    /// Declare additional *relations of interest* (Section 3.2).
-    #[deprecated(note = "use Runtime::builder(..).interest(..) instead")]
-    pub fn set_interest<I, S>(&mut self, rels: I) -> Result<()>
-    where
-        I: IntoIterator<Item = S>,
-        S: Into<String>,
-    {
-        self.apply_interest(rels)
-    }
-
-    /// Replace the runtime configuration.
-    #[deprecated(note = "use Runtime::builder(..).config(..) instead")]
-    pub fn set_config(&mut self, config: RuntimeConfig) {
-        self.config = config;
-    }
-
-    /// Register a user-defined function.
-    #[deprecated(note = "use Runtime::builder(..).register_fn(..) instead")]
-    pub fn register_fn(
-        &mut self,
-        name: impl Into<String>,
-        f: impl Fn(&[dpc_common::Value]) -> Result<dpc_common::Value> + Send + Sync + 'static,
-    ) {
-        self.fns.register(name, f);
     }
 
     /// Attach a telemetry sink to the simulator, the recorder and the
@@ -488,7 +461,17 @@ impl<R: ProvRecorder> Runtime<R> {
         let exec_id = self.next_exec_id;
         self.next_exec_id += 1;
         let meta = ProvMeta::input(exec_id, tuple.evid());
-        self.sim.schedule_at(node, at, Msg::Event { tuple, meta });
+        // One trace per execution: the root "exec" span opens when the
+        // event enters and closes when its output derives (stage 3) — or,
+        // if the execution dies to message loss, when the run drains.
+        let at = at.max(self.sim.now());
+        let root = self.telemetry.as_ref().map_or(SpanContext::NONE, |t| {
+            let s = t.span_root("exec", Some(node.0), at.as_nanos());
+            t.span_attr(s, "exec_id", AttrValue::UInt(exec_id));
+            s
+        });
+        self.sim
+            .schedule_at_traced(node, at, Msg::Event { tuple, meta }, root);
         Ok(exec_id)
     }
 
@@ -522,10 +505,15 @@ impl<R: ProvRecorder> Runtime<R> {
         Ok(())
     }
 
-    /// Run until no work remains.
+    /// Run until no work remains. Any spans left open by lost messages
+    /// (an execution whose output never derived) are closed at the final
+    /// simulated time so every sampled trace stays a well-formed tree.
     pub fn run(&mut self) -> Result<()> {
         while let Some(d) = self.sim.pop() {
-            self.handle(d.at, d.dst, d.msg)?;
+            self.handle(d.at, d.dst, d.msg, d.span)?;
+        }
+        if let Some(t) = &self.telemetry {
+            t.close_open_spans(self.sim.now().as_nanos());
         }
         Ok(())
     }
@@ -533,31 +521,47 @@ impl<R: ProvRecorder> Runtime<R> {
     /// Run until simulated `deadline` (events after it stay queued).
     pub fn run_until(&mut self, deadline: SimTime) -> Result<()> {
         while let Some(d) = self.sim.pop_until(deadline) {
-            self.handle(d.at, d.dst, d.msg)?;
+            self.handle(d.at, d.dst, d.msg, d.span)?;
         }
         Ok(())
     }
 
-    fn handle(&mut self, at: SimTime, node: NodeId, msg: Msg) -> Result<()> {
+    fn handle(&mut self, at: SimTime, node: NodeId, msg: Msg, ctx: SpanContext) -> Result<()> {
         if let Some(t) = &self.telemetry {
             t.maybe_snapshot(at.as_nanos());
         }
         match msg {
-            Msg::Event { tuple, meta } => self.handle_event(at, node, tuple, meta),
+            Msg::Event { tuple, meta } => self.handle_event(at, node, tuple, meta, ctx),
             Msg::SlowInsert { tuple } => {
                 self.recorder.on_base_install(node, &tuple);
                 self.dbs[node.index()].insert(tuple);
                 if let Some(t) = &self.telemetry {
                     t.count("engine.sig_broadcasts", None, 1);
                 }
+                // The Section 5.5 control broadcast is its own trace: the
+                // root spans the fan-out until the last sig arrives.
+                let root = self.telemetry.as_ref().map_or(SpanContext::NONE, |t| {
+                    t.span_root("engine.sig", Some(node.0), at.as_nanos())
+                });
                 // Broadcast sig to every node, including self.
+                let mut last = at;
                 for m in self.sim.net().nodes().collect::<Vec<_>>() {
                     if m == node {
-                        self.sim.schedule_local(node, SimTime::ZERO, Msg::Sig);
-                    } else {
                         self.sim
-                            .send_routed(node, m, self.config.sig_bytes, Msg::Sig)?;
+                            .schedule_local_traced(node, SimTime::ZERO, Msg::Sig, root);
+                    } else {
+                        let arrival = self.sim.send_routed_traced(
+                            node,
+                            m,
+                            self.config.sig_bytes,
+                            Msg::Sig,
+                            root,
+                        )?;
+                        last = last.max(arrival);
                     }
+                }
+                if let Some(t) = &self.telemetry {
+                    t.span_end(root, last.as_nanos());
                 }
                 Ok(())
             }
@@ -570,6 +574,10 @@ impl<R: ProvRecorder> Runtime<R> {
                 if let Some(t) = &self.telemetry {
                     t.count("engine.sigs_received", Some(node.0), 1);
                     t.trace(at.as_nanos(), Some(node.0), TraceKind::Sig);
+                    // The htequi clear is instantaneous in the model; the
+                    // span still marks where equivalence state reset.
+                    let s = t.span_child("engine.sig", Some(node.0), ctx, at.as_nanos());
+                    t.span_end(s, at.as_nanos());
                 }
                 self.recorder.on_sig(node);
                 Ok(())
@@ -583,6 +591,7 @@ impl<R: ProvRecorder> Runtime<R> {
         node: NodeId,
         tuple: Tuple,
         mut meta: ProvMeta,
+        ctx: SpanContext,
     ) -> Result<()> {
         self.metrics[node.index()].events_handled += 1;
         if let Some(t) = &self.telemetry {
@@ -595,6 +604,11 @@ impl<R: ProvRecorder> Runtime<R> {
             if let Some(t) = &self.telemetry {
                 t.count("engine.outputs", Some(node.0), 1);
                 t.trace(at.as_nanos(), Some(node.0), TraceKind::Stage3);
+                // Stage 3 closes the execution's root span.
+                let s = t.span_child("engine.event", Some(node.0), ctx, at.as_nanos());
+                t.span_attr(s, "output", AttrValue::Str(tuple.rel().to_string()));
+                t.span_end(s, at.as_nanos());
+                t.span_end_root(ctx.trace, at.as_nanos());
             }
             self.recorder.on_output(node, &tuple, &meta);
             if self.config.retain_tuples {
@@ -612,6 +626,16 @@ impl<R: ProvRecorder> Runtime<R> {
             return Ok(());
         }
 
+        // The per-arrival "engine.event" span covers stage 1 (if this is
+        // a fresh input) and stage 2; it ends when the last derived tuple
+        // reaches its destination, so its duration is the time this hop
+        // added to the execution.
+        let ev = self.telemetry.as_ref().map_or(SpanContext::NONE, |t| {
+            let s = t.span_child("engine.event", Some(node.0), ctx, at.as_nanos());
+            t.span_attr(s, "rel", AttrValue::Str(tuple.rel().to_string()));
+            s
+        });
+
         // Stage 1 for fresh inputs: equivalence-keys checking and event
         // materialization.
         if meta.stage == Stage::Input {
@@ -628,6 +652,9 @@ impl<R: ProvRecorder> Runtime<R> {
                         TraceKind::EqMiss
                     };
                     t.trace(at.as_nanos(), Some(node.0), kind);
+                    let eq = t.span_child("engine.eq", Some(node.0), ev, at.as_nanos());
+                    t.span_attr(eq, "hit", AttrValue::UInt(meta.exist_flag as u64));
+                    t.span_end(eq, at.as_nanos());
                 }
             }
             meta.stage = Stage::Derived;
@@ -644,6 +671,7 @@ impl<R: ProvRecorder> Runtime<R> {
 
         // Stage 2: fire every rule whose event relation matches.
         let rules: Vec<_> = self.delp.rules_for_event(tuple.rel()).cloned().collect();
+        let mut ev_end = at;
         for rule in &rules {
             if let Some(t) = &self.telemetry {
                 t.count("engine.joins_attempted", Some(node.0), 1);
@@ -657,6 +685,14 @@ impl<R: ProvRecorder> Runtime<R> {
                     t.trace(at.as_nanos(), Some(node.0), TraceKind::RuleFired);
                     t.trace(at.as_nanos(), Some(node.0), TraceKind::Stage2);
                 }
+                // The "engine.rule" span runs from the firing to the
+                // derived tuple's arrival at its destination, so per-rule
+                // histograms measure real end-to-end rule latency.
+                let rule_span = self.telemetry.as_ref().map_or(SpanContext::NONE, |t| {
+                    let s = t.span_child("engine.rule", Some(node.0), ev, at.as_nanos());
+                    t.span_attr(s, "rule", AttrValue::Str(rule.label.clone()));
+                    s
+                });
                 let out_meta =
                     self.recorder
                         .on_rule(node, rule, &tuple, &firing.slow, &firing.head, &meta);
@@ -676,15 +712,25 @@ impl<R: ProvRecorder> Runtime<R> {
                     tuple: firing.head,
                     meta: out_meta,
                 };
-                if dst == node {
-                    self.sim
-                        .schedule_local(node, self.config.rule_proc_delay, msg);
+                let arrival = if dst == node {
+                    self.sim.schedule_local_traced(
+                        node,
+                        self.config.rule_proc_delay,
+                        msg,
+                        rule_span,
+                    )
                 } else {
-                    self.sim.send_routed(node, dst, bytes, msg)?;
+                    self.sim
+                        .send_routed_traced(node, dst, bytes, msg, rule_span)?
+                };
+                if let Some(t) = &self.telemetry {
+                    t.span_end(rule_span, arrival.as_nanos());
                 }
+                ev_end = ev_end.max(arrival);
             }
         }
         if let Some(t) = &self.telemetry {
+            t.span_end(ev, ev_end.as_nanos());
             t.gauge(
                 "engine.db_rows",
                 Some(node.0),
@@ -917,6 +963,112 @@ mod tests {
             .map(|o| o.tuple.args()[3].as_str().unwrap().to_string())
             .collect();
         assert_eq!(payloads, vec!["p0", "p2", "p4"]);
+    }
+
+    #[test]
+    fn traced_execution_forms_single_root_tree() {
+        let t = dpc_telemetry::Telemetry::handle();
+        t.set_span_sampling(1);
+        let mut rt = figure2_runtime();
+        rt.attach_telemetry(t.clone());
+        rt.inject(packet(0, 0, 2, "data")).unwrap();
+        rt.run().unwrap();
+        let spans = t.spans();
+        assert_eq!(t.open_span_count(), 0);
+        let by_trace = dpc_telemetry::spans_by_trace(&spans);
+        assert_eq!(by_trace.len(), 1, "one execution, one trace");
+        let tree = by_trace.values().next().unwrap();
+        dpc_telemetry::check_well_formed(tree).unwrap();
+        let root = tree.iter().find(|s| s.parent.is_none()).unwrap();
+        assert_eq!(root.name, "exec");
+        // The root closes exactly when the output derived.
+        assert_eq!(root.end_ns, Some(rt.outputs()[0].at.as_nanos()));
+        // All three layers appear: engine events, rule firings, net hops.
+        for name in ["engine.event", "engine.rule", "net.hop"] {
+            assert!(tree.iter().any(|s| s.name == name), "missing {name}");
+        }
+        // The critical-path breakdown covers the root duration exactly.
+        let bd = dpc_telemetry::critical_path(tree).unwrap();
+        assert_eq!(bd.total(), root.duration_ns());
+        assert!(bd.network > 0);
+    }
+
+    #[test]
+    fn loss_does_not_orphan_or_leak_spans() {
+        let t = dpc_telemetry::Telemetry::handle();
+        t.set_span_sampling(1);
+        let mut rt = figure2_runtime();
+        rt.attach_telemetry(t.clone());
+        // Drop every 2nd message on the n1 -> n2 hop: half the executions
+        // never derive their output.
+        rt.inject_loss(n(1), n(2), 2);
+        for i in 0..6 {
+            rt.inject(packet(0, 0, 2, &format!("p{i}"))).unwrap();
+        }
+        rt.run().unwrap();
+        assert_eq!(rt.outputs().len(), 3);
+        // Every sampled trace — including the lost executions' — is a
+        // well-formed tree whose root closed.
+        assert_eq!(t.open_span_count(), 0);
+        let spans = t.spans();
+        let by_trace = dpc_telemetry::spans_by_trace(&spans);
+        assert_eq!(by_trace.len(), 6);
+        for (trace, tree) in by_trace {
+            dpc_telemetry::check_well_formed(&tree)
+                .unwrap_or_else(|e| panic!("trace {trace}: {e}"));
+        }
+        // Dropped hops are visible as such.
+        let dropped_hops = spans
+            .iter()
+            .filter(|s| s.name == "net.hop" && s.attr("dropped").is_some())
+            .count();
+        assert_eq!(dropped_hops, 3);
+    }
+
+    #[test]
+    fn sampling_traces_subset_of_executions() {
+        let t = dpc_telemetry::Telemetry::handle();
+        t.set_span_sampling(3);
+        let mut rt = figure2_runtime();
+        rt.attach_telemetry(t.clone());
+        for i in 0..6 {
+            rt.inject(packet(0, 0, 2, &format!("p{i}"))).unwrap();
+        }
+        rt.run().unwrap();
+        // Head sampling: executions 0 and 3 are traced.
+        let spans = t.spans();
+        let by_trace = dpc_telemetry::spans_by_trace(&spans);
+        assert_eq!(by_trace.len(), 2);
+        for tree in by_trace.values() {
+            dpc_telemetry::check_well_formed(tree).unwrap();
+        }
+    }
+
+    #[test]
+    fn sig_broadcast_is_traced() {
+        let t = dpc_telemetry::Telemetry::handle();
+        t.set_span_sampling(1);
+        let mut rt = figure2_runtime();
+        rt.attach_telemetry(t.clone());
+        rt.update_slow_at(route(1, 0, 0), SimTime::ZERO).unwrap();
+        rt.run().unwrap();
+        let spans = t.spans();
+        let root = spans
+            .iter()
+            .find(|s| s.name == "engine.sig" && s.parent.is_none())
+            .unwrap();
+        // Three receivers record an "engine.sig" child; the root spans
+        // until the last arrival.
+        let receipts = spans
+            .iter()
+            .filter(|s| s.name == "engine.sig" && s.parent.is_some())
+            .count();
+        assert_eq!(receipts, 3);
+        let last = spans.iter().filter_map(|s| s.end_ns).max().unwrap();
+        assert_eq!(root.end_ns, Some(last));
+        for tree in dpc_telemetry::spans_by_trace(&spans).values() {
+            dpc_telemetry::check_well_formed(tree).unwrap();
+        }
     }
 
     #[test]

@@ -9,18 +9,20 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use dpc_common::{Error, NodeId, Result};
-use dpc_telemetry::{TelemetryHandle, TraceKind};
+use dpc_telemetry::{AttrValue, SpanContext, TelemetryHandle, TraceKind};
 
 use crate::network::Network;
 use crate::stats::TrafficStats;
 use crate::time::SimTime;
 
-/// A pending delivery.
+/// A pending delivery: the message plus the trace context it rides under
+/// (the envelope that carries causality across hops).
 struct Pending<M> {
     at: SimTime,
     seq: u64,
     dst: NodeId,
     msg: M,
+    span: SpanContext,
 }
 
 // Ordering for the heap: earliest time first, ties broken by insertion
@@ -42,7 +44,9 @@ impl<M> Ord for Pending<M> {
     }
 }
 
-/// A delivered message: when, to whom, and the payload.
+/// A delivered message: when, to whom, the payload, and the trace
+/// context the sender attached (the last hop's span for traced network
+/// sends, so the receiver's spans parent to the wire time).
 #[derive(Debug, PartialEq, Eq)]
 pub struct Delivery<M> {
     /// Simulated delivery time.
@@ -51,6 +55,8 @@ pub struct Delivery<M> {
     pub dst: NodeId,
     /// The payload.
     pub msg: M,
+    /// Propagated trace context ([`SpanContext::NONE`] when untraced).
+    pub span: SpanContext,
 }
 
 /// Deterministic per-link loss state: every `every`-th message on the
@@ -179,12 +185,70 @@ impl<M> Sim<M> {
         false
     }
 
+    /// Record one traced link hop as a `net.hop` span with
+    /// `net.enqueue` / `net.serialize` / `net.propagate` children. All
+    /// times are known at send time (discrete-event simulation), so the
+    /// spans are created closed — traced sends can never leak open spans,
+    /// even when the hop drops the message. Returns the hop span, the
+    /// context the delivered message should carry.
+    #[allow(clippy::too_many_arguments)]
+    fn hop_span(
+        &self,
+        ctx: SpanContext,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        start: SimTime,
+        free: SimTime,
+        tx_done: SimTime,
+        arrival: SimTime,
+        dropped: bool,
+    ) -> SpanContext {
+        if !ctx.sampled {
+            return ctx;
+        }
+        let Some(t) = &self.telemetry else {
+            return ctx;
+        };
+        let node = Some(src.0);
+        let hop = t.span_child("net.hop", node, ctx, start.as_nanos());
+        t.span_attr(hop, "link", AttrValue::Str(format!("{}->{}", src.0, dst.0)));
+        t.span_attr(hop, "bytes", AttrValue::UInt(bytes as u64));
+        let enq = t.span_child("net.enqueue", node, hop, start.as_nanos());
+        t.span_end(enq, free.as_nanos());
+        let ser = t.span_child("net.serialize", node, hop, free.as_nanos());
+        t.span_end(ser, tx_done.as_nanos());
+        if dropped {
+            t.span_attr(hop, "dropped", AttrValue::UInt(1));
+            t.span_end(hop, tx_done.as_nanos());
+        } else {
+            let prop = t.span_child("net.propagate", node, hop, tx_done.as_nanos());
+            t.span_end(prop, arrival.as_nanos());
+            t.span_end(hop, arrival.as_nanos());
+        }
+        hop
+    }
+
     /// Send `msg` of size `bytes` from `src` to adjacent `dst`.
     ///
     /// Delivery time accounts for propagation latency, transmission delay
     /// and queueing behind earlier messages on the same directed link.
     /// Returns the delivery time.
     pub fn send(&mut self, src: NodeId, dst: NodeId, bytes: usize, msg: M) -> Result<SimTime> {
+        self.send_traced(src, dst, bytes, msg, SpanContext::NONE)
+    }
+
+    /// [`Sim::send`] carrying a trace context: the hop is recorded as a
+    /// closed `net.hop` span tree under `ctx`, and the delivered message
+    /// carries the hop span so the receiver's work parents to it.
+    pub fn send_traced(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        msg: M,
+        ctx: SpanContext,
+    ) -> Result<SimTime> {
         let link = self
             .net
             .link(src, dst)
@@ -204,8 +268,10 @@ impl<M> Sim<M> {
             bytes,
             SimTime::from_nanos(free.as_nanos() - self.now.as_nanos()),
         );
-        if !self.hop_drops(src, dst) {
-            self.push(at, dst, msg);
+        let dropped = self.hop_drops(src, dst);
+        let hop = self.hop_span(ctx, src, dst, bytes, self.now, free, tx_done, at, dropped);
+        if !dropped {
+            self.push(at, dst, msg, hop);
         }
         Ok(at)
     }
@@ -222,13 +288,28 @@ impl<M> Sim<M> {
         bytes: usize,
         msg: M,
     ) -> Result<SimTime> {
+        self.send_routed_traced(src, dst, bytes, msg, SpanContext::NONE)
+    }
+
+    /// [`Sim::send_routed`] carrying a trace context: every traversed
+    /// link records one closed `net.hop` span tree under `ctx`, and the
+    /// delivered message carries the final hop's span.
+    pub fn send_routed_traced(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        msg: M,
+        ctx: SpanContext,
+    ) -> Result<SimTime> {
         if src == dst {
             let at = self.now;
-            self.push(at, dst, msg);
+            self.push(at, dst, msg, ctx);
             return Ok(at);
         }
         let path = self.net.path_by_latency(src, dst)?;
         let mut t = self.now;
+        let mut carried = ctx;
         for w in path.windows(2) {
             let link = self
                 .net
@@ -248,37 +329,70 @@ impl<M> Sim<M> {
                 bytes,
                 SimTime::from_nanos(free.as_nanos() - t.as_nanos()),
             );
+            let start = t;
             t = tx_done + link.latency;
-            if self.hop_drops(w[0], w[1]) {
+            let dropped = self.hop_drops(w[0], w[1]);
+            carried = self.hop_span(ctx, w[0], w[1], bytes, start, free, tx_done, t, dropped);
+            if dropped {
                 // Lost en route: the hops so far carried it, nothing is
                 // delivered. The returned time is the would-have-been
                 // arrival at the drop point.
                 return Ok(t);
             }
         }
-        self.push(t, dst, msg);
+        self.push(t, dst, msg, carried);
         Ok(t)
     }
 
     /// Schedule a local event at `node` after `delay` (no network traffic).
     pub fn schedule_local(&mut self, node: NodeId, delay: SimTime, msg: M) -> SimTime {
+        self.schedule_local_traced(node, delay, msg, SpanContext::NONE)
+    }
+
+    /// [`Sim::schedule_local`] carrying a trace context through to the
+    /// delivery.
+    pub fn schedule_local_traced(
+        &mut self,
+        node: NodeId,
+        delay: SimTime,
+        msg: M,
+        ctx: SpanContext,
+    ) -> SimTime {
         let at = self.now + delay;
-        self.push(at, node, msg);
+        self.push(at, node, msg, ctx);
         at
     }
 
     /// Schedule an event at an absolute time (used by workload injectors).
     /// Times in the past are clamped to `now`.
     pub fn schedule_at(&mut self, node: NodeId, at: SimTime, msg: M) -> SimTime {
+        self.schedule_at_traced(node, at, msg, SpanContext::NONE)
+    }
+
+    /// [`Sim::schedule_at`] carrying a trace context through to the
+    /// delivery.
+    pub fn schedule_at_traced(
+        &mut self,
+        node: NodeId,
+        at: SimTime,
+        msg: M,
+        ctx: SpanContext,
+    ) -> SimTime {
         let at = at.max(self.now);
-        self.push(at, node, msg);
+        self.push(at, node, msg, ctx);
         at
     }
 
-    fn push(&mut self, at: SimTime, dst: NodeId, msg: M) {
+    fn push(&mut self, at: SimTime, dst: NodeId, msg: M, span: SpanContext) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Pending { at, seq, dst, msg }));
+        self.heap.push(Reverse(Pending {
+            at,
+            seq,
+            dst,
+            msg,
+            span,
+        }));
     }
 
     /// Pop the next delivery and advance the clock to it.
@@ -290,6 +404,7 @@ impl<M> Sim<M> {
             at: p.at,
             dst: p.dst,
             msg: p.msg,
+            span: p.span,
         })
     }
 
@@ -510,6 +625,90 @@ mod tests {
         let mut sim = two_node_sim();
         sim.schedule_local(n(0), SimTime::from_millis(1), "x");
         assert_eq!(sim.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn traced_send_records_hop_span_tree() {
+        let t = dpc_telemetry::Telemetry::handle();
+        t.set_span_sampling(1);
+        let mut sim = two_node_sim();
+        sim.set_telemetry(t.clone());
+        let root = t.span_root("query", Some(0), 0);
+        assert!(root.sampled);
+        let at = sim.send_traced(n(0), n(1), 1, "a", root).unwrap();
+        assert_eq!(at, SimTime::from_millis(2));
+        let d = sim.pop().unwrap();
+        // The delivered context is the hop span, same trace as the root.
+        assert_ne!(d.span.span, root.span);
+        assert_eq!(d.span.trace, root.trace);
+        t.span_end(root, sim.now().as_nanos());
+        let spans = t.spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "query",
+                "net.hop",
+                "net.enqueue",
+                "net.serialize",
+                "net.propagate"
+            ]
+        );
+        let hop = spans.iter().find(|s| s.name == "net.hop").unwrap();
+        assert_eq!(hop.parent, Some(root.span));
+        assert_eq!(hop.start_ns, 0);
+        assert_eq!(hop.end_ns, Some(SimTime::from_millis(2).as_nanos()));
+        assert!(matches!(
+            hop.attr("link"),
+            Some(dpc_telemetry::AttrValue::Str(s)) if s == "0->1"
+        ));
+        let prop = spans.iter().find(|s| s.name == "net.propagate").unwrap();
+        assert_eq!(prop.parent, Some(hop.id));
+        assert_eq!(prop.start_ns, SimTime::from_millis(1).as_nanos());
+        // Every span closed; the group forms a well-formed tree.
+        assert_eq!(t.open_span_count(), 0);
+        for (_, tree) in dpc_telemetry::spans_by_trace(&spans) {
+            dpc_telemetry::check_well_formed(&tree).unwrap();
+        }
+    }
+
+    #[test]
+    fn dropped_traced_send_leaves_no_open_spans() {
+        let t = dpc_telemetry::Telemetry::handle();
+        t.set_span_sampling(1);
+        let mut sim = two_node_sim();
+        sim.set_telemetry(t.clone());
+        sim.inject_loss(n(0), n(1), 1);
+        let root = t.span_root("query", Some(0), 0);
+        sim.send_traced(n(0), n(1), 1, "lost", root).unwrap();
+        assert!(sim.pop().is_none());
+        t.span_end(root, sim.now().as_nanos());
+        let spans = t.spans();
+        let hop = spans.iter().find(|s| s.name == "net.hop").unwrap();
+        // The hop span ends when transmission finishes, is flagged
+        // dropped, and has no propagate child.
+        assert_eq!(hop.end_ns, Some(SimTime::from_millis(1).as_nanos()));
+        assert!(matches!(
+            hop.attr("dropped"),
+            Some(dpc_telemetry::AttrValue::UInt(1))
+        ));
+        assert!(!spans.iter().any(|s| s.name == "net.propagate"));
+        assert_eq!(t.open_span_count(), 0);
+        for (_, tree) in dpc_telemetry::spans_by_trace(&spans) {
+            dpc_telemetry::check_well_formed(&tree).unwrap();
+        }
+    }
+
+    #[test]
+    fn untraced_sends_record_no_spans() {
+        let t = dpc_telemetry::Telemetry::handle();
+        t.set_span_sampling(1);
+        let mut sim = two_node_sim();
+        sim.set_telemetry(t.clone());
+        sim.send(n(0), n(1), 1, "a").unwrap();
+        let d = sim.pop().unwrap();
+        assert_eq!(d.span, SpanContext::NONE);
+        assert!(t.spans().is_empty());
     }
 
     #[test]

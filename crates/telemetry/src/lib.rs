@@ -27,13 +27,26 @@
 //! into the simulator, the runtime and the recorders. All time is plain
 //! `u64` nanoseconds of simulated time: this crate sits below
 //! `dpc-netsim`, so it cannot (and need not) name `SimTime`.
+//!
+//! On top of the flat metrics sits **causal span tracing** (the [`span`]
+//! module): head-sampled trees of timed spans whose [`SpanContext`] rides
+//! every simulated message, with critical-path analysis and a Chrome
+//! trace-event export ([`chrome`]) loadable in Perfetto.
 
+pub mod chrome;
 pub mod json;
+pub mod span;
 
+pub use chrome::chrome_trace;
 pub use json::Json;
+pub use span::{
+    check_well_formed, critical_path, duration_histograms, spans_by_trace, AttrValue, Breakdown,
+    Category, SpanContext, SpanId, SpanRecord, TraceId,
+};
 
 use std::collections::BTreeMap;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A cloneable shared reference to a [`Telemetry`] registry.
@@ -151,6 +164,21 @@ struct Inner {
     snapshot_every_nanos: Option<u64>,
     next_snapshot_nanos: u64,
     snapshots: Vec<Snapshot>,
+    /// All recorded spans, open ones with `end_ns == None`.
+    spans: Vec<SpanRecord>,
+    /// Span id -> index into `spans` (open and closed).
+    span_index: HashMap<u64, usize>,
+    /// Next span/trace id (ids are nonzero; 0 is `SpanContext::NONE`).
+    next_span_id: u64,
+    /// Head-based sampling period for root spans: 0 = tracing off,
+    /// 1 = every root, N = one in N.
+    span_sample_every: u64,
+    /// Root spans requested so far (sampled or not), drives sampling.
+    span_roots_seen: u64,
+    /// Hard cap on stored spans: new *roots* are unsampled once reached
+    /// (children of already-sampled traces still record, so no sampled
+    /// tree is ever truncated mid-way).
+    span_cap: usize,
 }
 
 /// A frozen copy of the metrics registry at one simulated instant.
@@ -229,6 +257,14 @@ fn render_key(name: &str, node: Option<u32>) -> String {
 #[derive(Debug)]
 pub struct Telemetry {
     inner: Mutex<Inner>,
+    /// Lock-free fast path for [`Telemetry::trace`]: mirrors
+    /// `trace_cap > 0` so a disabled registry never takes the mutex on
+    /// the per-event hot path.
+    events_enabled: AtomicBool,
+    /// Lock-free fast path for [`Telemetry::span_root`]: mirrors
+    /// `span_sample_every > 0`. Unsampled contexts make every child-span
+    /// call a no-op without consulting the registry at all.
+    spans_enabled: AtomicBool,
 }
 
 impl Default for Telemetry {
@@ -240,15 +276,23 @@ impl Default for Telemetry {
 /// Default capacity of the event-trace ring buffer.
 pub const DEFAULT_TRACE_CAP: usize = 4096;
 
+/// Default hard cap on stored spans (see `Inner::span_cap`).
+pub const DEFAULT_SPAN_CAP: usize = 1 << 20;
+
 impl Telemetry {
-    /// A registry with the default trace capacity and no periodic
-    /// snapshotting (snapshots only on explicit [`Telemetry::snapshot`]).
+    /// A registry with the default trace capacity, span tracing disabled,
+    /// and no periodic snapshotting (snapshots only on explicit
+    /// [`Telemetry::snapshot`]).
     pub fn new() -> Telemetry {
         Telemetry {
             inner: Mutex::new(Inner {
                 trace_cap: DEFAULT_TRACE_CAP,
+                next_span_id: 1,
+                span_cap: DEFAULT_SPAN_CAP,
                 ..Inner::default()
             }),
+            events_enabled: AtomicBool::new(true),
+            spans_enabled: AtomicBool::new(false),
         }
     }
 
@@ -266,12 +310,15 @@ impl Telemetry {
     }
 
     /// Resize the trace ring buffer (drops oldest entries if shrinking).
+    /// Capacity 0 disables event tracing entirely: subsequent
+    /// [`Telemetry::trace`] calls return on a lock-free atomic check.
     pub fn set_trace_capacity(&self, cap: usize) {
         let mut g = self.lock();
         g.trace_cap = cap;
         while g.trace.len() > cap {
             g.trace.pop_front();
         }
+        self.events_enabled.store(cap > 0, Ordering::Release);
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -299,7 +346,12 @@ impl Telemetry {
     }
 
     /// Append a trace event (oldest entries fall off past capacity).
+    /// When tracing is disabled (`set_trace_capacity(0)`) this returns
+    /// without touching the lock.
     pub fn trace(&self, at_nanos: u64, node: Option<u32>, kind: TraceKind) {
+        if !self.events_enabled.load(Ordering::Acquire) {
+            return;
+        }
         let mut g = self.lock();
         if g.trace_cap == 0 {
             return;
@@ -369,6 +421,161 @@ impl Telemetry {
     /// All snapshots taken so far, oldest first.
     pub fn snapshots(&self) -> Vec<Snapshot> {
         self.lock().snapshots.clone()
+    }
+
+    // --- Causal span tracing -------------------------------------------
+
+    /// Enable head-based span sampling: one in `every` root spans is
+    /// sampled (1 = all); 0 disables span tracing entirely. The sampling
+    /// decision is made once per root and inherited by the whole tree.
+    pub fn set_span_sampling(&self, every: u64) {
+        let mut g = self.lock();
+        g.span_sample_every = every;
+        self.spans_enabled.store(every > 0, Ordering::Release);
+    }
+
+    /// Start a root span (a new trace). Applies the sampling decision;
+    /// an unsampled root returns [`SpanContext::NONE`] and records
+    /// nothing. When tracing is disabled this returns on a lock-free
+    /// atomic check.
+    pub fn span_root(&self, name: &'static str, node: Option<u32>, at_nanos: u64) -> SpanContext {
+        if !self.spans_enabled.load(Ordering::Acquire) {
+            return SpanContext::NONE;
+        }
+        let mut g = self.lock();
+        if g.span_sample_every == 0 {
+            return SpanContext::NONE;
+        }
+        let seq = g.span_roots_seen;
+        g.span_roots_seen += 1;
+        if !seq.is_multiple_of(g.span_sample_every) || g.spans.len() >= g.span_cap {
+            return SpanContext::NONE;
+        }
+        let id = g.next_span_id;
+        g.next_span_id += 1;
+        let ctx = SpanContext {
+            trace: TraceId(id),
+            span: SpanId(id),
+            sampled: true,
+        };
+        let idx = g.spans.len();
+        g.spans.push(SpanRecord {
+            trace: ctx.trace,
+            id: ctx.span,
+            parent: None,
+            name,
+            node,
+            start_ns: at_nanos,
+            end_ns: None,
+            attrs: Vec::new(),
+        });
+        g.span_index.insert(id, idx);
+        ctx
+    }
+
+    /// Start a child span under `parent`. A no-op (returning
+    /// [`SpanContext::NONE`]) when the parent is unsampled.
+    pub fn span_child(
+        &self,
+        name: &'static str,
+        node: Option<u32>,
+        parent: SpanContext,
+        at_nanos: u64,
+    ) -> SpanContext {
+        if !parent.sampled {
+            return SpanContext::NONE;
+        }
+        let mut g = self.lock();
+        let id = g.next_span_id;
+        g.next_span_id += 1;
+        let ctx = SpanContext {
+            trace: parent.trace,
+            span: SpanId(id),
+            sampled: true,
+        };
+        let idx = g.spans.len();
+        g.spans.push(SpanRecord {
+            trace: parent.trace,
+            id: ctx.span,
+            parent: Some(parent.span),
+            name,
+            node,
+            start_ns: at_nanos,
+            end_ns: None,
+            attrs: Vec::new(),
+        });
+        g.span_index.insert(id, idx);
+        ctx
+    }
+
+    /// End span `ctx` at `at_nanos`. No-op on unsampled contexts or
+    /// already-ended spans.
+    pub fn span_end(&self, ctx: SpanContext, at_nanos: u64) {
+        if !ctx.sampled {
+            return;
+        }
+        let mut g = self.lock();
+        if let Some(&idx) = g.span_index.get(&ctx.span.0) {
+            let s = &mut g.spans[idx];
+            if s.end_ns.is_none() {
+                s.end_ns = Some(at_nanos.max(s.start_ns));
+            }
+        }
+    }
+
+    /// End the (open) root span of `trace` at `at_nanos` — used when the
+    /// closer only knows the trace it belongs to, not the root's id
+    /// (e.g. the engine closing an execution's root at output
+    /// derivation).
+    pub fn span_end_root(&self, trace: TraceId, at_nanos: u64) {
+        if trace.0 == 0 {
+            return;
+        }
+        let mut g = self.lock();
+        // Root spans carry the trace id as their span id by construction.
+        if let Some(&idx) = g.span_index.get(&trace.0) {
+            let s = &mut g.spans[idx];
+            if s.parent.is_none() && s.end_ns.is_none() {
+                s.end_ns = Some(at_nanos.max(s.start_ns));
+            }
+        }
+    }
+
+    /// Attach a typed attribute to span `ctx` (open or closed).
+    pub fn span_attr(&self, ctx: SpanContext, key: &'static str, value: AttrValue) {
+        if !ctx.sampled {
+            return;
+        }
+        let mut g = self.lock();
+        if let Some(&idx) = g.span_index.get(&ctx.span.0) {
+            g.spans[idx].attrs.push((key, value));
+        }
+    }
+
+    /// Close every still-open span at `at_nanos`. Called when a run
+    /// drains: executions killed by message loss can never close their
+    /// own roots, and a trace with an open span is not well-formed.
+    pub fn close_open_spans(&self, at_nanos: u64) {
+        let mut g = self.lock();
+        for s in g.spans.iter_mut() {
+            if s.end_ns.is_none() {
+                s.end_ns = Some(at_nanos.max(s.start_ns));
+            }
+        }
+    }
+
+    /// Number of spans still open.
+    pub fn open_span_count(&self) -> usize {
+        self.lock()
+            .spans
+            .iter()
+            .filter(|s| s.end_ns.is_none())
+            .count()
+    }
+
+    /// A copy of every recorded span, in creation order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.lock().spans.clone()
     }
 
     /// Serialize every snapshot as JSON-lines (one object per line).
@@ -499,6 +706,89 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("{\"type\":\"snapshot\",\"t_ns\":1,"));
         assert!(lines[1].starts_with("{\"type\":\"snapshot\",\"t_ns\":2,"));
+    }
+
+    #[test]
+    fn disabled_event_tracing_records_nothing() {
+        let t = Telemetry::new();
+        t.set_trace_capacity(0);
+        // The atomic fast path: no event is stored (and no lock taken —
+        // behaviorally, the ring stays empty however many calls arrive).
+        for i in 0..100 {
+            t.trace(i, Some(0), TraceKind::MsgSend);
+        }
+        assert!(t.trace_events().is_empty());
+        // Re-enabling restores recording.
+        t.set_trace_capacity(2);
+        t.trace(7, None, TraceKind::Sig);
+        assert_eq!(t.trace_events().len(), 1);
+    }
+
+    #[test]
+    fn spans_disabled_by_default() {
+        let t = Telemetry::new();
+        let ctx = t.span_root("exec", Some(0), 10);
+        assert!(!ctx.sampled);
+        assert_eq!(ctx, SpanContext::NONE);
+        assert!(t.spans().is_empty());
+        // Child calls off an unsampled context record nothing either.
+        let c = t.span_child("net.hop", Some(0), ctx, 20);
+        t.span_end(c, 30);
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn span_tree_records_and_closes() {
+        let t = Telemetry::new();
+        t.set_span_sampling(1);
+        let root = t.span_root("exec", Some(0), 100);
+        assert!(root.sampled);
+        let child = t.span_child("net.hop", Some(1), root, 150);
+        t.span_attr(child, "link", AttrValue::Str("0->1".into()));
+        t.span_end(child, 250);
+        t.span_end_root(root.trace, 300);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "exec");
+        assert_eq!(spans[0].end_ns, Some(300));
+        assert_eq!(spans[1].parent, Some(root.span));
+        assert_eq!(spans[1].end_ns, Some(250));
+        assert_eq!(spans[1].attr("link"), Some(&AttrValue::Str("0->1".into())));
+        let groups = spans_by_trace(&spans);
+        assert_eq!(groups.len(), 1);
+        assert!(check_well_formed(&groups[&root.trace]).is_ok());
+    }
+
+    #[test]
+    fn head_sampling_takes_one_in_n() {
+        let t = Telemetry::new();
+        t.set_span_sampling(4);
+        let sampled: Vec<bool> = (0..8)
+            .map(|i| t.span_root("exec", None, i).sampled)
+            .collect();
+        assert_eq!(sampled.iter().filter(|&&s| s).count(), 2);
+        assert!(sampled[0] && sampled[4]);
+    }
+
+    #[test]
+    fn close_open_spans_closes_everything() {
+        let t = Telemetry::new();
+        t.set_span_sampling(1);
+        let root = t.span_root("exec", None, 0);
+        let _child = t.span_child("net.hop", None, root, 10);
+        assert_eq!(t.open_span_count(), 2);
+        t.close_open_spans(99);
+        assert_eq!(t.open_span_count(), 0);
+        assert!(t.spans().iter().all(|s| s.end_ns == Some(99)));
+    }
+
+    #[test]
+    fn span_end_never_precedes_start() {
+        let t = Telemetry::new();
+        t.set_span_sampling(1);
+        let root = t.span_root("exec", None, 50);
+        t.span_end(root, 10); // clock confusion: clamp, don't invert
+        assert_eq!(t.spans()[0].end_ns, Some(50));
     }
 
     #[test]

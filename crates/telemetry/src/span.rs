@@ -1,0 +1,521 @@
+//! Causal span tracing on the simulated clock.
+//!
+//! A *span* is a named interval of simulated time attributed to one node:
+//! a rule firing, one link hop, a provenance-query fetch. Spans link to a
+//! parent span and share a [`TraceId`], so every sampled execution or
+//! query forms a tree whose root covers the whole operation and whose
+//! leaves explain where the time went. Contexts are tiny `Copy` values
+//! ([`SpanContext`]) attached to every simulated message, so causality
+//! survives `Sim::send`/`send_routed` hops, queueing and loss.
+//!
+//! The registry side lives on [`crate::Telemetry`] (`span_root`,
+//! `span_child`, `span_end`, …); this module holds the data model plus
+//! the pure analyses over finished traces:
+//!
+//! * [`check_well_formed`] — single closed root, no dangling parents.
+//! * [`critical_path`] — attribute every instant of the root span to a
+//!   [`Category`] (network / join / equivalence / storage) by the
+//!   innermost covering span; the components sum to the root duration
+//!   exactly.
+//! * [`duration_histograms`] — per-(name, rule/link/scheme) latency
+//!   histograms over finished spans.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Histogram;
+
+/// Identifies one trace: all spans of one execution or one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifies one span within the registry (unique across traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The propagated trace context: attached to every simulated message so
+/// the receiver's spans parent to the sender's. `Copy` and 17 bytes —
+/// cheap enough to ride every envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// The trace this context belongs to.
+    pub trace: TraceId,
+    /// The span new children should parent to.
+    pub span: SpanId,
+    /// Head-based sampling decision, made once at the root and inherited
+    /// by every descendant. Unsampled contexts make all span calls no-ops.
+    pub sampled: bool,
+}
+
+impl SpanContext {
+    /// The absent context: not sampled, all ids zero. Propagating it is
+    /// free and records nothing.
+    pub const NONE: SpanContext = SpanContext {
+        trace: TraceId(0),
+        span: SpanId(0),
+        sampled: false,
+    };
+}
+
+/// A typed span attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A string attribute (rule label, link name, scheme).
+    Str(String),
+    /// An unsigned counter-like attribute (bytes, rows).
+    UInt(u64),
+    /// A signed attribute.
+    Int(i64),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => f.write_str(s),
+            AttrValue::UInt(u) => write!(f, "{u}"),
+            AttrValue::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// One recorded span. `end_ns` is `None` while the span is open.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub id: SpanId,
+    /// Parent span, `None` for the trace root.
+    pub parent: Option<SpanId>,
+    /// Span name (stable, used for categorization and export).
+    pub name: &'static str,
+    /// The node the span ran at, if node-local.
+    pub node: Option<u32>,
+    /// Start, simulated nanoseconds.
+    pub start_ns: u64,
+    /// End, simulated nanoseconds (`None` while open).
+    pub end_ns: Option<u64>,
+    /// Typed attributes, in insertion order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// Duration in nanoseconds (0 while open).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns
+            .map(|e| e.saturating_sub(self.start_ns))
+            .unwrap_or(0)
+    }
+
+    /// Look up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Latency categories of the critical-path analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Time on the wire or queued behind it (`net.*` spans).
+    Network,
+    /// Join/re-derivation work (rule firings, query re-execution).
+    Join,
+    /// Equivalence-class bookkeeping (`htequi` lookups, `sig` handling).
+    Equivalence,
+    /// Provenance-table reads and writes.
+    Storage,
+    /// Anything else (roots, structural spans).
+    Other,
+}
+
+impl Category {
+    /// Stable lowercase name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Network => "network",
+            Category::Join => "join",
+            Category::Equivalence => "equivalence",
+            Category::Storage => "storage",
+            Category::Other => "other",
+        }
+    }
+}
+
+/// Map a span name to its latency category. The mapping is explicit (not
+/// substring-based) so renaming a span is a conscious, test-visible
+/// change.
+pub fn categorize(name: &str) -> Category {
+    if name.starts_with("net.") {
+        return Category::Network;
+    }
+    match name {
+        "engine.rule" | "engine.eval" | "query.reexec" => Category::Join,
+        "engine.eq" | "engine.sig" | "query.eq_lookup" => Category::Equivalence,
+        "engine.event" | "query.fetch" | "query.lookup" => Category::Storage,
+        _ => Category::Other,
+    }
+}
+
+/// Nanoseconds of one trace's root span attributed to each category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Network time.
+    pub network: u64,
+    /// Join/re-execution time.
+    pub join: u64,
+    /// Equivalence-lookup time.
+    pub equivalence: u64,
+    /// Storage time.
+    pub storage: u64,
+    /// Unattributed time.
+    pub other: u64,
+}
+
+impl Breakdown {
+    /// Sum of all components — equals the root span duration by
+    /// construction.
+    pub fn total(&self) -> u64 {
+        self.network + self.join + self.equivalence + self.storage + self.other
+    }
+
+    /// Percentage of one component against the total (0 when empty).
+    pub fn pct(&self, ns: u64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            ns as f64 * 100.0 / t as f64
+        }
+    }
+
+    /// `(name, nanos)` pairs in stable order.
+    pub fn components(&self) -> [(&'static str, u64); 5] {
+        [
+            ("network", self.network),
+            ("join", self.join),
+            ("equivalence", self.equivalence),
+            ("storage", self.storage),
+            ("other", self.other),
+        ]
+    }
+
+    /// Accumulate another breakdown into this one.
+    pub fn add(&mut self, o: &Breakdown) {
+        self.network += o.network;
+        self.join += o.join;
+        self.equivalence += o.equivalence;
+        self.storage += o.storage;
+        self.other += o.other;
+    }
+
+    fn slot(&mut self, c: Category) -> &mut u64 {
+        match c {
+            Category::Network => &mut self.network,
+            Category::Join => &mut self.join,
+            Category::Equivalence => &mut self.equivalence,
+            Category::Storage => &mut self.storage,
+            Category::Other => &mut self.other,
+        }
+    }
+}
+
+/// Group spans by trace, in trace-id order.
+pub fn spans_by_trace(spans: &[SpanRecord]) -> BTreeMap<TraceId, Vec<&SpanRecord>> {
+    let mut map: BTreeMap<TraceId, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        map.entry(s.trace).or_default().push(s);
+    }
+    map
+}
+
+/// Check that one trace's spans form a well-formed tree: exactly one
+/// root, the root is closed, every parent id resolves within the trace,
+/// every span is closed, and no child starts before its parent.
+pub fn check_well_formed(trace: &[&SpanRecord]) -> Result<(), String> {
+    let roots: Vec<_> = trace.iter().filter(|s| s.parent.is_none()).collect();
+    if roots.len() != 1 {
+        return Err(format!("expected exactly one root, found {}", roots.len()));
+    }
+    let root = roots[0];
+    if root.end_ns.is_none() {
+        return Err(format!(
+            "root span {} ({}) never closed",
+            root.id, root.name
+        ));
+    }
+    let by_id: BTreeMap<SpanId, &&SpanRecord> = trace.iter().map(|s| (s.id, s)).collect();
+    if by_id.len() != trace.len() {
+        return Err("duplicate span ids within the trace".into());
+    }
+    for s in trace {
+        if s.end_ns.is_none() {
+            return Err(format!("span {} ({}) never closed", s.id, s.name));
+        }
+        if let Some(p) = s.parent {
+            let parent = by_id
+                .get(&p)
+                .ok_or_else(|| format!("span {} ({}) has dangling parent {p}", s.id, s.name))?;
+            if s.start_ns < parent.start_ns {
+                return Err(format!(
+                    "span {} ({}) starts before its parent {} ({})",
+                    s.id, s.name, parent.id, parent.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Critical-path analysis of one trace: every instant of the root span is
+/// attributed to the [`Category`] of the *innermost* span covering it
+/// (ties broken toward the later-starting span); instants covered only by
+/// the root fall into the root's own category. The components therefore
+/// sum to the root duration exactly. Returns `None` when the trace has no
+/// single closed root.
+pub fn critical_path(trace: &[&SpanRecord]) -> Option<Breakdown> {
+    let root = {
+        let mut roots = trace.iter().filter(|s| s.parent.is_none());
+        let r = roots.next()?;
+        if roots.next().is_some() {
+            return None;
+        }
+        r
+    };
+    let root_end = root.end_ns?;
+    let root_start = root.start_ns;
+    if root_end <= root_start {
+        return Some(Breakdown::default());
+    }
+
+    // Depth of every span (root = 0), for innermost-wins resolution.
+    let by_id: BTreeMap<SpanId, &&SpanRecord> = trace.iter().map(|s| (s.id, s)).collect();
+    let depth_of = |s: &SpanRecord| -> u32 {
+        let mut d = 0;
+        let mut cur = s.parent;
+        while let Some(p) = cur {
+            d += 1;
+            match by_id.get(&p) {
+                Some(ps) => cur = ps.parent,
+                None => break,
+            }
+            if d > trace.len() as u32 {
+                break; // cycle guard; check_well_formed reports it properly
+            }
+        }
+        d
+    };
+
+    // Clipped, closed, non-root spans with their depth.
+    let mut clipped: Vec<(u64, u64, u32, u64, Category)> = Vec::new();
+    for s in trace {
+        if s.id == root.id {
+            continue;
+        }
+        let Some(end) = s.end_ns else { continue };
+        let a = s.start_ns.max(root_start);
+        let b = end.min(root_end);
+        if b > a {
+            clipped.push((a, b, depth_of(s), s.start_ns, categorize(s.name)));
+        }
+    }
+
+    // Boundary sweep.
+    let mut bounds: Vec<u64> = vec![root_start, root_end];
+    for &(a, b, ..) in &clipped {
+        bounds.push(a);
+        bounds.push(b);
+    }
+    bounds.sort_unstable();
+    bounds.dedup();
+
+    let root_cat = categorize(root.name);
+    let mut out = Breakdown::default();
+    for w in bounds.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b <= a {
+            continue;
+        }
+        // Innermost covering span: max (depth, original start).
+        let cat = clipped
+            .iter()
+            .filter(|&&(ca, cb, ..)| ca <= a && cb >= b)
+            .max_by_key(|&&(_, _, depth, start, _)| (depth, start))
+            .map(|&(.., cat)| cat)
+            .unwrap_or(root_cat);
+        *out.slot(cat) += b - a;
+    }
+    Some(out)
+}
+
+/// Aggregate finished spans into duration histograms, keyed by span name,
+/// plus one refined key per `rule` / `link` / `scheme` attribute — the
+/// per-(scheme, rule, link) latency attribution the run reports print.
+pub fn duration_histograms(spans: &[SpanRecord]) -> BTreeMap<String, Histogram> {
+    let mut out: BTreeMap<String, Histogram> = BTreeMap::new();
+    for s in spans {
+        if s.end_ns.is_none() {
+            continue;
+        }
+        let d = s.duration_ns();
+        out.entry(s.name.to_string()).or_default().observe(d);
+        for key in ["rule", "link", "scheme"] {
+            if let Some(v) = s.attr(key) {
+                out.entry(format!("{}[{}={}]", s.name, key, v))
+                    .or_default()
+                    .observe(d);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        trace: u64,
+        id: u64,
+        parent: Option<u64>,
+        name: &'static str,
+        start: u64,
+        end: Option<u64>,
+    ) -> SpanRecord {
+        SpanRecord {
+            trace: TraceId(trace),
+            id: SpanId(id),
+            parent: parent.map(SpanId),
+            name,
+            node: Some(0),
+            start_ns: start,
+            end_ns: end,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn well_formed_accepts_a_closed_tree() {
+        let spans = [
+            span(1, 1, None, "query", 0, Some(100)),
+            span(1, 2, Some(1), "net.hop", 10, Some(40)),
+            span(1, 3, Some(2), "net.serialize", 10, Some(30)),
+        ];
+        let refs: Vec<&SpanRecord> = spans.iter().collect();
+        assert!(check_well_formed(&refs).is_ok());
+    }
+
+    #[test]
+    fn well_formed_rejects_open_root_and_dangling_parent() {
+        let open = [span(1, 1, None, "query", 0, None)];
+        let refs: Vec<&SpanRecord> = open.iter().collect();
+        assert!(check_well_formed(&refs)
+            .unwrap_err()
+            .contains("never closed"));
+
+        let dangling = [
+            span(1, 1, None, "query", 0, Some(10)),
+            span(1, 2, Some(9), "net.hop", 1, Some(5)),
+        ];
+        let refs: Vec<&SpanRecord> = dangling.iter().collect();
+        assert!(check_well_formed(&refs)
+            .unwrap_err()
+            .contains("dangling parent"));
+
+        let two_roots = [
+            span(1, 1, None, "query", 0, Some(10)),
+            span(1, 2, None, "query", 0, Some(10)),
+        ];
+        let refs: Vec<&SpanRecord> = two_roots.iter().collect();
+        assert!(check_well_formed(&refs)
+            .unwrap_err()
+            .contains("exactly one root"));
+    }
+
+    #[test]
+    fn categorize_is_stable() {
+        assert_eq!(categorize("net.hop"), Category::Network);
+        assert_eq!(categorize("net.serialize"), Category::Network);
+        assert_eq!(categorize("engine.rule"), Category::Join);
+        assert_eq!(categorize("query.reexec"), Category::Join);
+        assert_eq!(categorize("query.eq_lookup"), Category::Equivalence);
+        assert_eq!(categorize("query.fetch"), Category::Storage);
+        assert_eq!(categorize("query"), Category::Other);
+        assert_eq!(categorize("exec"), Category::Other);
+    }
+
+    #[test]
+    fn critical_path_attributes_innermost_and_sums_to_root() {
+        // root [0,100]; lookup [0,10]; hop [10,80] with serialize [10,50]
+        // inside it; reexec [80,100]. The serialize sub-span must not be
+        // double counted: [10,50] is network (innermost net.serialize),
+        // [50,80] network (net.hop), gap-free.
+        let spans = [
+            span(1, 1, None, "query", 0, Some(100)),
+            span(1, 2, Some(1), "query.eq_lookup", 0, Some(10)),
+            span(1, 3, Some(1), "net.hop", 10, Some(80)),
+            span(1, 4, Some(3), "net.serialize", 10, Some(50)),
+            span(1, 5, Some(1), "query.reexec", 80, Some(100)),
+        ];
+        let refs: Vec<&SpanRecord> = spans.iter().collect();
+        let b = critical_path(&refs).unwrap();
+        assert_eq!(b.network, 70);
+        assert_eq!(b.equivalence, 10);
+        assert_eq!(b.join, 20);
+        assert_eq!(b.storage, 0);
+        assert_eq!(b.other, 0);
+        assert_eq!(b.total(), 100);
+        assert!((b.pct(b.network) - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_uncovered_time_falls_to_root_category() {
+        let spans = [
+            span(1, 1, None, "query", 0, Some(50)),
+            span(1, 2, Some(1), "net.hop", 0, Some(20)),
+        ];
+        let refs: Vec<&SpanRecord> = spans.iter().collect();
+        let b = critical_path(&refs).unwrap();
+        assert_eq!(b.network, 20);
+        assert_eq!(b.other, 30);
+        assert_eq!(b.total(), 50);
+    }
+
+    #[test]
+    fn duration_histograms_key_by_name_and_attr() {
+        let mut s1 = span(1, 1, None, "engine.rule", 0, Some(100));
+        s1.attrs.push(("rule", AttrValue::Str("r1".into())));
+        let mut s2 = span(1, 2, None, "engine.rule", 0, Some(200));
+        s2.attrs.push(("rule", AttrValue::Str("r2".into())));
+        let open = span(1, 3, None, "engine.rule", 0, None);
+        let h = duration_histograms(&[s1, s2, open]);
+        assert_eq!(h["engine.rule"].count, 2);
+        assert_eq!(h["engine.rule[rule=r1]"].count, 1);
+        assert_eq!(h["engine.rule[rule=r1]"].max, 100);
+        assert_eq!(h["engine.rule[rule=r2]"].max, 200);
+    }
+
+    #[test]
+    fn spans_by_trace_groups() {
+        let spans = vec![
+            span(2, 1, None, "a", 0, Some(1)),
+            span(1, 2, None, "b", 0, Some(1)),
+            span(2, 3, Some(1), "c", 0, Some(1)),
+        ];
+        let g = spans_by_trace(&spans);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[&TraceId(2)].len(), 2);
+        assert_eq!(g[&TraceId(1)].len(), 1);
+    }
+}

@@ -276,16 +276,6 @@ fn interest_rejects_unknown_relations() {
     assert!(builds(["nosuch"]).is_err());
 }
 
-/// The pre-builder mutator API still works (it is deprecated, not gone).
-#[test]
-#[allow(deprecated)]
-fn deprecated_set_interest_shim_still_validates() {
-    let net = topo::star(3, Link::STUB_STUB);
-    let mut rt = dpc::apps::forwarding::make_runtime(net, NoopRecorder);
-    assert!(rt.set_interest(["recv"]).is_ok());
-    assert!(rt.set_interest(["route"]).is_err()); // slow, not derived
-}
-
 /// The Section 6.1.2 bandwidth claim: with 500-byte payloads, provenance
 /// maintenance metadata is a small fraction of the traffic for all
 /// schemes.
