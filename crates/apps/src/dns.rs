@@ -86,9 +86,11 @@ pub fn make_runtime<R: ProvRecorder>(tree: &Tree, recorder: R) -> Runtime<R> {
 
 /// Deploy the nameserver hierarchy: delegations at every parent, one
 /// `addressRecord` per URL at its owning server, `rootServer` rows at the
-/// clients. URLs are hosted at the deepest `num_urls` non-root servers
-/// (deep chains are where resolution work — and therefore provenance —
-/// accumulates).
+/// clients. URLs are hosted at the deepest non-root servers (deep chains
+/// are where resolution work — and therefore provenance — accumulates),
+/// cycling when `num_urls` exceeds the server count: real nameservers
+/// hold many records, and the extra URLs get distinct `www<k>.` hosts in
+/// the same zone.
 pub fn deploy<R: ProvRecorder>(
     rt: &mut Runtime<R>,
     tree: &Tree,
@@ -96,7 +98,7 @@ pub fn deploy<R: ProvRecorder>(
     clients: &[NodeId],
 ) -> Result<DnsDeployment> {
     let n = tree.net.node_count();
-    if num_urls > n.saturating_sub(1) {
+    if n < 2 && num_urls > 0 {
         return Err(Error::Schema(format!(
             "cannot host {num_urls} URLs on {n} servers"
         )));
@@ -117,12 +119,19 @@ pub fn deploy<R: ProvRecorder>(
         }
     }
 
-    // URL owners: deepest non-root nodes first.
+    // URL owners: deepest non-root nodes first, wrapping around (with
+    // fresh host labels) when there are more URLs than servers.
     let mut by_depth: Vec<NodeId> = (1..n).map(|i| NodeId(i as u32)).collect();
     by_depth.sort_by_key(|&nd| std::cmp::Reverse(tree.depth(nd)));
+    let hosts = by_depth.len();
     let mut urls = Vec::with_capacity(num_urls);
-    for (k, &server) in by_depth.iter().take(num_urls).enumerate() {
-        let url = url_for(tree, server);
+    for k in 0..num_urls {
+        let server = by_depth[k % hosts];
+        let url = if k < hosts {
+            url_for(tree, server)
+        } else {
+            format!("www{}.{}", k / hosts, domain_of(tree, server))
+        };
         let ip = format!("10.{}.{}.{}", k / 256, k % 256, server.0 % 256);
         rt.install(Tuple::new(
             "addressRecord",
@@ -239,10 +248,19 @@ mod tests {
     }
 
     #[test]
-    fn too_many_urls_rejected() {
+    fn more_urls_than_servers_wrap_around() {
         let t = small_tree();
         let mut rt = make_runtime(&t, NoopRecorder);
-        assert!(deploy(&mut rt, &t, 50, &[t.root]).is_err());
+        let dep = deploy(&mut rt, &t, 50, &[t.root]).unwrap();
+        assert_eq!(dep.urls.len(), 50);
+        // All URLs are distinct, and every one resolves.
+        let distinct: std::collections::HashSet<_> =
+            dep.urls.iter().map(|(u, _, _)| u.clone()).collect();
+        assert_eq!(distinct.len(), 50);
+        let (wrapped, _, _) = dep.urls[dep.urls.len() - 1].clone();
+        rt.inject(url_event(t.root, wrapped, 1)).unwrap();
+        rt.run().unwrap();
+        assert_eq!(rt.outputs().len(), 1);
     }
 
     #[test]

@@ -102,10 +102,10 @@ mod tests {
         let net = topo::line(4, Link::STUB_STUB);
         let mut rt = make_runtime(net, NoopRecorder);
         install_routes_for_pairs(&mut rt, &[(n(0), n(3))]).unwrap();
-        assert!(rt.db(n(0)).rows("route").contains(&route(n(0), n(3), n(1))));
-        assert!(rt.db(n(1)).rows("route").contains(&route(n(1), n(3), n(2))));
-        assert!(rt.db(n(2)).rows("route").contains(&route(n(2), n(3), n(3))));
-        assert!(rt.db(n(3)).rows("route").is_empty());
+        assert!(rt.db(n(0)).contains(&route(n(0), n(3), n(1))));
+        assert!(rt.db(n(1)).contains(&route(n(1), n(3), n(2))));
+        assert!(rt.db(n(2)).contains(&route(n(2), n(3), n(3))));
+        assert_eq!(rt.db(n(3)).count("route"), 0);
     }
 
     #[test]
@@ -136,6 +136,6 @@ mod tests {
         let mut rt = make_runtime(net, NoopRecorder);
         install_routes_for_pairs(&mut rt, &[(n(0), n(4)), (n(1), n(4))]).unwrap();
         // n1's route to n4 serves both pairs; only one row exists.
-        assert_eq!(rt.db(n(1)).rows("route").len(), 1);
+        assert_eq!(rt.db(n(1)).count("route"), 1);
     }
 }

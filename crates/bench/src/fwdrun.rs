@@ -40,6 +40,14 @@ pub struct FwdConfig {
     /// Head-based span sampling: trace every `n`-th execution (0 = span
     /// tracing off, the default; 1 = trace everything).
     pub trace_sample: u64,
+    /// Evaluate rules through compiled plans (the default). `false` runs
+    /// the naive AST interpreter — the "before" baseline of
+    /// `BENCH_pr3.json`.
+    pub compiled_plans: bool,
+    /// Transit-stub topology parameters (default: the paper's 100-node
+    /// configuration). Larger topologies mean more destinations and thus
+    /// bigger per-node `route` tables.
+    pub topo: topo::TransitStubParams,
 }
 
 impl Default for FwdConfig {
@@ -54,6 +62,8 @@ impl Default for FwdConfig {
             route_update_every: None,
             total_packets: None,
             trace_sample: 0,
+            compiled_plans: true,
+            topo: topo::TransitStubParams::default(),
         }
     }
 }
@@ -80,6 +90,10 @@ pub struct FwdRunOutput {
     pub m: RunMeasurements,
     /// Packets injected.
     pub injected: usize,
+    /// Wall-clock seconds spent processing events (the drive phase —
+    /// excludes topology generation, route installation and injection
+    /// scheduling).
+    pub processing_secs: f64,
 }
 
 fn payload_of(seq: u64, len: usize) -> String {
@@ -100,9 +114,15 @@ pub fn run_forwarding(scheme: Scheme, cfg: &FwdConfig) -> FwdRunOutput {
 
 fn run_generic<R: ProvRecorder>(cfg: &FwdConfig, make: impl FnOnce(usize) -> R) -> FwdRunOutput {
     let (rt, injected) = prepare(cfg, make);
+    let t0 = std::time::Instant::now();
     let (rt, m) = drive(rt, cfg);
+    let processing_secs = t0.elapsed().as_secs_f64();
     drop(rt);
-    FwdRunOutput { m, injected }
+    FwdRunOutput {
+        m,
+        injected,
+        processing_secs,
+    }
 }
 
 /// Build the topology, install routes, inject the whole schedule.
@@ -111,9 +131,10 @@ pub(crate) fn prepare<R: ProvRecorder>(
     make: impl FnOnce(usize) -> R,
 ) -> (Runtime<R>, usize) {
     let mut rng = SeededRng::seed_from_u64(cfg.seed);
-    let ts = topo::transit_stub(&mut rng, &topo::TransitStubParams::default());
+    let ts = topo::transit_stub(&mut rng, &cfg.topo);
     let n = ts.net.node_count();
     let mut rt = forwarding::make_runtime(ts.net, make(n));
+    rt.set_compiled_plans(cfg.compiled_plans);
     let telemetry = Telemetry::handle();
     telemetry.set_snapshot_every_nanos(cfg.snapshot_every.as_nanos());
     if cfg.trace_sample > 0 {

@@ -108,6 +108,23 @@ impl RunMeasurements {
             Some(h as f64 / (h + m) as f64)
         }
     }
+
+    /// Secondary-index join probe `(hits, misses)` over the run — nonzero
+    /// only when the engine evaluates through compiled rule plans.
+    pub fn index_hits_misses(&self) -> (u64, u64) {
+        (
+            self.telemetry
+                .counter_total(dpc_telemetry::counters::INDEX_HITS),
+            self.telemetry
+                .counter_total(dpc_telemetry::counters::INDEX_MISSES),
+        )
+    }
+
+    /// Rule plans compiled at runtime construction.
+    pub fn plans_compiled(&self) -> u64 {
+        self.telemetry
+            .counter_total(dpc_telemetry::counters::PLANS_COMPILED)
+    }
 }
 
 impl RunMeasurements {

@@ -22,6 +22,7 @@ pub fn run_json_with(
     m: &RunMeasurements,
 ) -> Json {
     let (hits, misses) = m.htequi_hits_misses();
+    let (index_hits, index_misses) = m.index_hits_misses();
     let mut fields = vec![
         ("record", Json::Str("run".into())),
         ("figure", Json::Str(figure.into())),
@@ -73,6 +74,9 @@ pub fn run_json_with(
             "htequi_hit_rate",
             m.htequi_hit_rate().map_or(Json::Null, Json::Float),
         ),
+        ("index_hits", Json::UInt(index_hits)),
+        ("index_misses", Json::UInt(index_misses)),
+        ("plans_compiled", Json::UInt(m.plans_compiled())),
         ("duration_secs", Json::Float(m.duration.as_secs_f64())),
     ]);
     Json::obj(fields)
@@ -178,7 +182,7 @@ mod tests {
         let line = run_json("fig08", "ExSPAN", &m).to_string();
         assert_eq!(
             line,
-            r#"{"record":"run","figure":"fig08","scheme":"ExSPAN","per_node_storage_bytes":[10,20],"per_link_bytes":[{"a":0,"b":1,"bytes":7}],"storage_snapshots":[[1,5],[2,30]],"total_traffic_bytes":7,"outputs":2,"rules_fired":4,"htequi_hits":0,"htequi_misses":0,"htequi_hit_rate":null,"duration_secs":2}"#
+            r#"{"record":"run","figure":"fig08","scheme":"ExSPAN","per_node_storage_bytes":[10,20],"per_link_bytes":[{"a":0,"b":1,"bytes":7}],"storage_snapshots":[[1,5],[2,30]],"total_traffic_bytes":7,"outputs":2,"rules_fired":4,"htequi_hits":0,"htequi_misses":0,"htequi_hit_rate":null,"index_hits":0,"index_misses":0,"plans_compiled":0,"duration_secs":2}"#
         );
     }
 

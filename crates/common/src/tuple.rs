@@ -1,7 +1,8 @@
 //! Tuples, relation names and node identities.
 
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 use crate::error::{Error, Result};
 use crate::hash::{EvId, Vid};
@@ -45,44 +46,64 @@ pub type RelName = Arc<str>;
 ///
 /// By NDlog convention the first attribute is the *location specifier*: the
 /// node at which the tuple lives (written `@L` in surface syntax).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// The payload lives behind an `Arc`, so cloning a tuple is a refcount
+/// bump. The canonical SHA-1 identities (`vid`/`evid`) are computed once on
+/// first use and cached inside the shared payload, so every clone — and
+/// every recorder that re-derives an id from the same tuple — pays the
+/// hash cost at most once.
+#[derive(Clone)]
 pub struct Tuple {
+    inner: Arc<TupleInner>,
+}
+
+struct TupleInner {
     rel: RelName,
     args: Vec<Value>,
+    ids: OnceLock<TupleIds>,
+}
+
+/// Lazily computed content-addressed identities (see [`Tuple::vid`]).
+struct TupleIds {
+    vid: Vid,
+    evid: EvId,
 }
 
 impl Tuple {
     /// Build a tuple. The first argument should be the location specifier.
     pub fn new(rel: impl AsRef<str>, args: Vec<Value>) -> Tuple {
-        Tuple {
-            rel: Arc::from(rel.as_ref()),
-            args,
-        }
+        Tuple::from_rel(Arc::from(rel.as_ref()), args)
     }
 
     /// Build a tuple from an already-interned relation name.
     pub fn from_rel(rel: RelName, args: Vec<Value>) -> Tuple {
-        Tuple { rel, args }
+        Tuple {
+            inner: Arc::new(TupleInner {
+                rel,
+                args,
+                ids: OnceLock::new(),
+            }),
+        }
     }
 
     /// The relation this tuple belongs to.
     pub fn rel(&self) -> &str {
-        &self.rel
+        &self.inner.rel
     }
 
     /// The interned relation name (cheap to clone).
     pub fn rel_name(&self) -> &RelName {
-        &self.rel
+        &self.inner.rel
     }
 
     /// All attribute values, location specifier first.
     pub fn args(&self) -> &[Value] {
-        &self.args
+        &self.inner.args
     }
 
     /// Number of attributes.
     pub fn arity(&self) -> usize {
-        self.args.len()
+        self.inner.args.len()
     }
 
     /// The location specifier — the node this tuple lives at.
@@ -90,7 +111,8 @@ impl Tuple {
     /// Errors if the tuple has no attributes or the first attribute is not
     /// an address.
     pub fn loc(&self) -> Result<NodeId> {
-        self.args
+        self.inner
+            .args
             .first()
             .and_then(Value::as_addr)
             .ok_or_else(|| Error::Schema(format!("tuple {self} has no location specifier")))
@@ -100,32 +122,78 @@ impl Tuple {
     /// computation. Injective: relation name is length-prefixed and each
     /// value uses its own injective encoding.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + self.rel.len() + self.args.len() * 12);
-        out.extend_from_slice(&(self.rel.len() as u32).to_be_bytes());
-        out.extend_from_slice(self.rel.as_bytes());
-        out.extend_from_slice(&(self.args.len() as u32).to_be_bytes());
-        for a in &self.args {
+        let rel = &self.inner.rel;
+        let args = &self.inner.args;
+        let mut out = Vec::with_capacity(16 + rel.len() + args.len() * 12);
+        out.extend_from_slice(&(rel.len() as u32).to_be_bytes());
+        out.extend_from_slice(rel.as_bytes());
+        out.extend_from_slice(&(args.len() as u32).to_be_bytes());
+        for a in args {
             a.encode_into(&mut out);
         }
         out
     }
 
-    /// The content-addressed tuple id: `vid = sha1(tuple)`.
+    fn ids(&self) -> &TupleIds {
+        self.inner.ids.get_or_init(|| {
+            let enc = self.encode();
+            TupleIds {
+                vid: Vid::of_bytes(&enc),
+                evid: EvId::of_bytes(&enc),
+            }
+        })
+    }
+
+    /// The content-addressed tuple id: `vid = sha1(tuple)`. Computed once
+    /// per tuple payload; clones share the cached digest.
     pub fn vid(&self) -> Vid {
-        Vid::of_bytes(&self.encode())
+        self.ids().vid
     }
 
     /// The event id used when this tuple is an input event: `evid`.
+    /// Cached alongside [`Tuple::vid`].
     pub fn evid(&self) -> EvId {
-        EvId::of_bytes(&self.encode())
+        self.ids().evid
+    }
+}
+
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Tuple) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || (self.inner.rel == other.inner.rel && self.inner.args == other.inner.args)
+    }
+}
+
+impl Eq for Tuple {}
+
+impl Hash for Tuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.rel.hash(state);
+        self.inner.args.hash(state);
+    }
+}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Tuple) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    fn cmp(&self, other: &Tuple) -> std::cmp::Ordering {
+        self.inner
+            .rel
+            .cmp(&other.inner.rel)
+            .then_with(|| self.inner.args.cmp(&other.inner.args))
     }
 }
 
 impl StorageSize for Tuple {
     fn storage_size(&self) -> usize {
-        4 + self.rel.len()
+        4 + self.inner.rel.len()
             + 4
             + self
+                .inner
                 .args
                 .iter()
                 .map(StorageSize::storage_size)
@@ -135,8 +203,8 @@ impl StorageSize for Tuple {
 
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}(", self.rel)?;
-        for (i, a) in self.args.iter().enumerate() {
+        write!(f, "{}(", self.inner.rel)?;
+        for (i, a) in self.inner.args.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -243,6 +311,39 @@ mod tests {
         let t = pkt();
         // 4 + 6 ("packet") + 4 + (5 + 5 + 5 + (1+4+4))
         assert_eq!(t.storage_size(), 4 + 6 + 4 + 5 + 5 + 5 + 9);
+    }
+
+    #[test]
+    fn clones_share_payload_and_digest_cache() {
+        let a = pkt();
+        let vid = a.vid(); // forces the cache
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
+        assert!(b.inner.ids.get().is_some(), "clone shares the cached ids");
+        assert_eq!(b.vid(), vid);
+        assert_eq!(b.evid(), a.evid());
+    }
+
+    #[test]
+    fn equality_hash_and_order_follow_content() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = pkt();
+        let b = pkt(); // separate allocation, same content
+        assert!(!Arc::ptr_eq(&a.inner, &b.inner));
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        let hash = |t: &Tuple| {
+            let mut h = DefaultHasher::new();
+            t.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        // Ordering is (rel, args) lexicographic, as with the derived impl.
+        let c = Tuple::new("aaa", vec![Value::Int(1)]);
+        assert!(c < a);
+        let d = Tuple::new("packet", vec![Value::Addr(NodeId(0))]);
+        assert!(d < a);
     }
 
     #[test]

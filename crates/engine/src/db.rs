@@ -1,18 +1,76 @@
 //! Per-node relational databases.
+//!
+//! [`Table`] stores rows in *slots*: an append-only vector where deletion
+//! blanks the slot (a tombstone) instead of shifting the suffix. That makes
+//! [`Table::remove`] O(1) while iteration stays in insertion order —
+//! the property the evaluator relies on for reproducible rule firings.
+//! Tombstones are compacted (order-preservingly) once they outnumber live
+//! rows, so memory stays proportional to the live set.
+//!
+//! Tables also maintain **secondary hash indexes** keyed by argument
+//! positions. An index is built lazily the first time a compiled rule plan
+//! probes a `(relation, positions)` combination, and is maintained
+//! incrementally on insert; removal relies on tombstones (stale slot ids in
+//! a bucket point at blanked slots and are skipped). Buckets list slot ids
+//! in insertion order, so an index probe yields exactly the rows a full
+//! scan would have matched, in the same order.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use dpc_common::{RelName, StorageSize, Tuple, Vid};
+use dpc_common::{RelName, StorageSize, Tuple, Value, Vid};
+
+/// Index key: the concatenated canonical encodings of the values at the
+/// indexed positions. `Value::encode_into` is self-delimiting, so for a
+/// fixed position list the concatenation is injective.
+fn index_key(positions: &[usize], args: &[Value]) -> Option<Vec<u8>> {
+    let mut key = Vec::with_capacity(positions.len() * 8);
+    for &p in positions {
+        args.get(p)?.encode_into(&mut key);
+    }
+    Some(key)
+}
+
+/// A secondary hash index over one `(relation, positions)` combination.
+#[derive(Debug, Clone, Default)]
+struct SecondaryIndex {
+    /// Key bytes -> slot ids in insertion order. Slot ids may be stale
+    /// (tombstoned); probes skip them.
+    buckets: HashMap<Vec<u8>, Vec<usize>>,
+    /// Set when a row's arity does not cover the indexed positions; such a
+    /// row cannot be keyed, so the index is unusable and probes fall back
+    /// to scanning.
+    degenerate: bool,
+}
+
+impl SecondaryIndex {
+    fn add(&mut self, positions: &[usize], slot: usize, t: &Tuple) {
+        if self.degenerate {
+            return;
+        }
+        match index_key(positions, t.args()) {
+            Some(key) => self.buckets.entry(key).or_default().push(slot),
+            None => {
+                self.buckets.clear();
+                self.degenerate = true;
+            }
+        }
+    }
+}
 
 /// One relation's rows at one node.
 ///
-/// Rows are kept both in insertion order (deterministic iteration, so joins
-/// and therefore rule firings are reproducible) and in a hash set (O(1)
-/// duplicate detection).
+/// Rows are kept in insertion-order slots (deterministic iteration, so
+/// joins and therefore rule firings are reproducible) plus a position map
+/// (O(1) duplicate detection and O(1) removal), plus any secondary indexes
+/// built for compiled-plan probes.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
-    rows: Vec<Tuple>,
-    index: HashSet<Tuple>,
+    /// Append-only row storage; `None` is a tombstone left by `remove`.
+    slots: Vec<Option<Tuple>>,
+    /// Row -> slot id, for the live rows only.
+    pos: HashMap<Tuple, usize>,
+    /// Secondary indexes keyed by the indexed argument positions.
+    indexes: HashMap<Box<[usize]>, SecondaryIndex>,
 }
 
 impl Table {
@@ -23,52 +81,107 @@ impl Table {
 
     /// Insert a row; returns `true` if it was not already present.
     pub fn insert(&mut self, t: Tuple) -> bool {
-        if self.index.insert(t.clone()) {
-            self.rows.push(t);
-            true
-        } else {
-            false
+        if self.pos.contains_key(&t) {
+            return false;
         }
+        let slot = self.slots.len();
+        for (positions, idx) in &mut self.indexes {
+            idx.add(positions, slot, &t);
+        }
+        self.pos.insert(t.clone(), slot);
+        self.slots.push(Some(t));
+        true
     }
 
-    /// Remove a row; returns `true` if it was present.
+    /// Remove a row; returns `true` if it was present. O(1): the slot is
+    /// tombstoned, and slots are compacted (preserving order) only once
+    /// tombstones outnumber live rows.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        if self.index.remove(t) {
-            self.rows.retain(|r| r != t);
-            true
-        } else {
-            false
+        let Some(slot) = self.pos.remove(t) else {
+            return false;
+        };
+        self.slots[slot] = None;
+        let tombstones = self.slots.len() - self.pos.len();
+        if tombstones > self.pos.len().max(16) {
+            self.compact();
         }
+        true
+    }
+
+    /// Drop tombstones, renumber slots in insertion order, and discard the
+    /// secondary indexes (they are rebuilt lazily on the next probe).
+    fn compact(&mut self) {
+        self.slots.retain(Option::is_some);
+        self.pos.clear();
+        for (slot, row) in self.slots.iter().enumerate() {
+            let row = row.as_ref().expect("tombstones were just dropped");
+            self.pos.insert(row.clone(), slot);
+        }
+        self.indexes.clear();
     }
 
     /// Does the table contain `t`?
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.index.contains(t)
+        self.pos.contains_key(t)
     }
 
-    /// Rows in insertion order.
-    pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+    /// Live rows in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.slots.iter().filter_map(Option::as_ref)
     }
 
-    /// Number of rows.
+    /// Number of live rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.pos.len()
     }
 
     /// Is the table empty?
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.pos.is_empty()
+    }
+
+    /// Ensure a secondary index exists for `positions`, building it from
+    /// the current live rows if needed. Returns `false` if the index is
+    /// unusable (some row's arity does not cover `positions`) — callers
+    /// should fall back to a scan.
+    pub fn ensure_index(&mut self, positions: &[usize]) -> bool {
+        if !self.indexes.contains_key(positions) {
+            let mut idx = SecondaryIndex::default();
+            for (slot, row) in self.slots.iter().enumerate() {
+                if let Some(row) = row {
+                    idx.add(positions, slot, row);
+                }
+            }
+            self.indexes.insert(positions.into(), idx);
+        }
+        !self.indexes[positions].degenerate
+    }
+
+    /// Probe the `positions` index for rows whose indexed values encode to
+    /// `key`, in insertion order. Returns `None` when the index is missing
+    /// or degenerate ([`Table::ensure_index`] builds it beforehand).
+    pub fn probe<'a>(
+        &'a self,
+        positions: &[usize],
+        key: &[u8],
+    ) -> Option<impl Iterator<Item = &'a Tuple>> {
+        let idx = self.indexes.get(positions)?;
+        if idx.degenerate {
+            return None;
+        }
+        let bucket = idx.buckets.get(key).map(Vec::as_slice).unwrap_or(&[]);
+        Some(bucket.iter().filter_map(|&s| self.slots[s].as_ref()))
+    }
+
+    /// Number of secondary indexes currently materialized.
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
     }
 }
 
 impl StorageSize for Table {
     fn storage_size(&self) -> usize {
-        4 + self
-            .rows
-            .iter()
-            .map(StorageSize::storage_size)
-            .sum::<usize>()
+        4 + self.iter().map(StorageSize::storage_size).sum::<usize>()
     }
 }
 
@@ -107,14 +220,30 @@ impl Database {
         }
     }
 
-    /// The table for `rel`, if it has any rows.
+    /// The table for `rel`, if it has ever held a row.
     pub fn table(&self, rel: &str) -> Option<&Table> {
         self.tables.get(rel)
     }
 
-    /// Rows of `rel` (empty slice if the relation is unknown).
-    pub fn rows(&self, rel: &str) -> &[Tuple] {
-        self.tables.get(rel).map_or(&[], |t| t.rows())
+    /// Mutable access to the table for `rel` (used by compiled plans to
+    /// build indexes lazily while joining).
+    pub fn table_mut(&mut self, rel: &str) -> Option<&mut Table> {
+        self.tables.get_mut(rel)
+    }
+
+    /// Rows of `rel` in insertion order (empty if the relation is unknown).
+    pub fn rows(&self, rel: &str) -> impl Iterator<Item = &Tuple> {
+        self.tables.get(rel).into_iter().flat_map(Table::iter)
+    }
+
+    /// Does `rel` currently contain `t`?
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tables.get(t.rel()).is_some_and(|tb| tb.contains(t))
+    }
+
+    /// Number of live rows in `rel`.
+    pub fn count(&self, rel: &str) -> usize {
+        self.tables.get(rel).map_or(0, Table::len)
     }
 
     /// Resolve a tuple by content hash. Covers every tuple ever inserted,
@@ -155,6 +284,10 @@ mod tests {
         )
     }
 
+    fn dsts(t: &Table) -> Vec<u32> {
+        t.iter().map(|r| r.args()[1].as_addr().unwrap().0).collect()
+    }
+
     #[test]
     fn insert_dedups() {
         let mut t = Table::new();
@@ -179,12 +312,80 @@ mod tests {
         t.insert(route(1, 3, 2));
         t.insert(route(1, 2, 2));
         t.insert(route(1, 4, 3));
-        let dsts: Vec<_> = t
-            .rows()
-            .iter()
-            .map(|r| r.args()[1].as_addr().unwrap().0)
-            .collect();
-        assert_eq!(dsts, vec![3, 2, 4]);
+        assert_eq!(dsts(&t), vec![3, 2, 4]);
+    }
+
+    #[test]
+    fn iteration_order_survives_removal_and_compaction() {
+        // Regression test for the O(n) `rows.retain` removal: tombstoning
+        // and compaction must both preserve insertion order exactly.
+        let mut t = Table::new();
+        for dst in 0..100 {
+            t.insert(route(1, dst, 2));
+        }
+        // Remove every even destination — more than enough to trigger the
+        // tombstone-majority compaction at least once.
+        for dst in (0..100).step_by(2) {
+            assert!(t.remove(&route(1, dst, 2)));
+        }
+        assert_eq!(t.len(), 50);
+        let expect: Vec<u32> = (0..100).filter(|d| d % 2 == 1).collect();
+        assert_eq!(dsts(&t), expect);
+        // Re-inserting lands at the end, as with a plain Vec.
+        t.insert(route(1, 0, 2));
+        let mut expect2 = expect.clone();
+        expect2.push(0);
+        assert_eq!(dsts(&t), expect2);
+    }
+
+    #[test]
+    fn index_probe_matches_scan_in_order() {
+        let mut t = Table::new();
+        t.insert(route(1, 3, 2));
+        t.insert(route(1, 2, 2));
+        t.insert(route(1, 3, 4)); // second row for dst=3
+        assert!(t.ensure_index(&[1]));
+        // Key built from position 1 of a probe binding: dst = n3.
+        let mut key = Vec::new();
+        Value::Addr(NodeId(3)).encode_into(&mut key);
+        let hits: Vec<_> = t.probe(&[1], &key).unwrap().cloned().collect();
+        assert_eq!(hits, vec![route(1, 3, 2), route(1, 3, 4)]);
+        // Unknown key: empty, but still served by the index.
+        let mut k2 = Vec::new();
+        Value::Addr(NodeId(9)).encode_into(&mut k2);
+        assert_eq!(t.probe(&[1], &k2).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn index_is_maintained_on_insert_and_skips_tombstones() {
+        let mut t = Table::new();
+        t.insert(route(1, 3, 2));
+        assert!(t.ensure_index(&[1]));
+        // Insert after the index exists: incrementally added.
+        t.insert(route(1, 3, 4));
+        let mut key = Vec::new();
+        Value::Addr(NodeId(3)).encode_into(&mut key);
+        assert_eq!(t.probe(&[1], &key).unwrap().count(), 2);
+        // Remove one: the stale bucket entry is skipped.
+        t.remove(&route(1, 3, 2));
+        let left: Vec<_> = t.probe(&[1], &key).unwrap().cloned().collect();
+        assert_eq!(left, vec![route(1, 3, 4)]);
+    }
+
+    #[test]
+    fn short_arity_row_degrades_index_to_scan() {
+        let mut t = Table::new();
+        t.insert(Tuple::new("route", vec![Value::Addr(NodeId(1))]));
+        assert!(!t.ensure_index(&[1]), "position 1 not covered by arity 1");
+        assert!(t.probe(&[1], &[]).is_none());
+        // And the degenerate marker also applies when the short row arrives
+        // after the index was built.
+        let mut t2 = Table::new();
+        t2.insert(route(1, 3, 2));
+        assert!(t2.ensure_index(&[1]));
+        t2.insert(Tuple::new("route", vec![Value::Addr(NodeId(1))]));
+        assert!(!t2.ensure_index(&[1]));
+        assert!(t2.probe(&[1], &[]).is_none());
     }
 
     #[test]
@@ -192,9 +393,10 @@ mod tests {
         let mut db = Database::new();
         db.insert(route(1, 3, 2));
         db.insert(Tuple::new("link", vec![Value::Addr(NodeId(1))]));
-        assert_eq!(db.rows("route").len(), 1);
-        assert_eq!(db.rows("link").len(), 1);
-        assert_eq!(db.rows("nosuch").len(), 0);
+        assert_eq!(db.count("route"), 1);
+        assert_eq!(db.count("link"), 1);
+        assert_eq!(db.count("nosuch"), 0);
+        assert_eq!(db.rows("nosuch").count(), 0);
         assert_eq!(db.len(), 2);
         assert_eq!(db.relations().count(), 2);
     }
@@ -206,7 +408,7 @@ mod tests {
         let vid = r.vid();
         db.insert(r.clone());
         db.remove(&r);
-        assert_eq!(db.rows("route").len(), 0);
+        assert_eq!(db.count("route"), 0);
         assert_eq!(db.by_vid(&vid), Some(&r));
     }
 

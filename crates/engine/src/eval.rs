@@ -107,24 +107,7 @@ pub fn eval_expr(expr: &Expr, bind: &Bindings, fns: &FnRegistry) -> Result<Value
         Expr::BinOp(op, l, r) => {
             let lv = eval_expr(l, bind, fns)?;
             let rv = eval_expr(r, bind, fns)?;
-            let (Value::Int(a), Value::Int(b)) = (&lv, &rv) else {
-                return Err(Error::Eval(format!(
-                    "arithmetic `{op}` requires integers, got {lv} and {rv}"
-                )));
-            };
-            let out = match op {
-                BinOp::Add => a.checked_add(*b),
-                BinOp::Sub => a.checked_sub(*b),
-                BinOp::Mul => a.checked_mul(*b),
-                BinOp::Div => {
-                    if *b == 0 {
-                        return Err(Error::Eval("division by zero".into()));
-                    }
-                    a.checked_div(*b)
-                }
-            }
-            .ok_or_else(|| Error::Eval(format!("arithmetic overflow in `{a} {op} {b}`")))?;
-            Ok(Value::Int(out))
+            apply_binop(*op, &lv, &rv)
         }
         Expr::Call(name, args) => {
             let f = fns
@@ -139,8 +122,32 @@ pub fn eval_expr(expr: &Expr, bind: &Bindings, fns: &FnRegistry) -> Result<Value
     }
 }
 
+/// Apply an arithmetic operator to two evaluated operands. Shared by the
+/// interpreted ([`eval_expr`]) and compiled (`RulePlan`) expression paths
+/// so both report identical errors.
+pub(crate) fn apply_binop(op: BinOp, lv: &Value, rv: &Value) -> Result<Value> {
+    let (Value::Int(a), Value::Int(b)) = (lv, rv) else {
+        return Err(Error::Eval(format!(
+            "arithmetic `{op}` requires integers, got {lv} and {rv}"
+        )));
+    };
+    let out = match op {
+        BinOp::Add => a.checked_add(*b),
+        BinOp::Sub => a.checked_sub(*b),
+        BinOp::Mul => a.checked_mul(*b),
+        BinOp::Div => {
+            if *b == 0 {
+                return Err(Error::Eval("division by zero".into()));
+            }
+            a.checked_div(*b)
+        }
+    }
+    .ok_or_else(|| Error::Eval(format!("arithmetic overflow in `{a} {op} {b}`")))?;
+    Ok(Value::Int(out))
+}
+
 /// Evaluate a comparison between two values.
-fn compare(op: CmpOp, l: &Value, r: &Value) -> Result<bool> {
+pub(crate) fn compare(op: CmpOp, l: &Value, r: &Value) -> Result<bool> {
     match op {
         CmpOp::Eq => Ok(l == r),
         CmpOp::Ne => Ok(l != r),

@@ -27,10 +27,12 @@
 
 pub mod db;
 pub mod eval;
+pub mod plan;
 pub mod recorder;
 pub mod runtime;
 
 pub use db::{Database, Table};
 pub use eval::{eval_rule, Bindings, Firing, FnRegistry};
+pub use plan::{EvalStats, PlanSet, RulePlan};
 pub use recorder::{NoopRecorder, ProvMeta, ProvRecorder, Stage, TeeRecorder};
 pub use runtime::{NodeMetrics, OutputRecord, RunMetrics, Runtime, RuntimeBuilder, RuntimeConfig};

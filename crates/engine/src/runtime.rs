@@ -21,6 +21,7 @@ use dpc_telemetry::{AttrValue, SpanContext, TelemetryHandle, TraceKind};
 
 use crate::db::Database;
 use crate::eval::{eval_rule, FnRegistry};
+use crate::plan::{EvalStats, PlanSet, RulePlan};
 use crate::recorder::{NoopRecorder, ProvMeta, ProvRecorder, Stage};
 
 /// Messages exchanged by the runtime over the simulated network.
@@ -84,6 +85,11 @@ pub struct RuntimeConfig {
     /// Keep an [`OutputRecord`] per derived output. Disable for very
     /// large measurement runs; [`Runtime::outputs_count`] still counts.
     pub record_outputs: bool,
+    /// Evaluate rules through compiled [`RulePlan`]s (slot bindings +
+    /// secondary-index joins) instead of the naive AST interpreter. On by
+    /// default; the interpreter is kept for differential testing and as
+    /// the "before" baseline in benchmarks.
+    pub compiled_plans: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -94,6 +100,7 @@ impl Default for RuntimeConfig {
             header_bytes: 28,
             retain_tuples: true,
             record_outputs: true,
+            compiled_plans: true,
         }
     }
 }
@@ -227,6 +234,9 @@ impl<R: ProvRecorder> RuntimeBuilder<R> {
 /// The engine runtime: one DELP deployed on every node of a network.
 pub struct Runtime<R> {
     delp: Delp,
+    /// Rules compiled once at construction (see [`crate::plan`]); shared
+    /// by all nodes.
+    plans: PlanSet,
     sim: Sim<Msg>,
     dbs: Vec<Database>,
     /// Input events materialized at their injection node, keyed by `evid`
@@ -261,8 +271,10 @@ impl<R: ProvRecorder> Runtime<R> {
     /// Deploy `delp` on `net` with the given provenance recorder.
     pub fn new(delp: Delp, net: Network, recorder: R) -> Runtime<R> {
         let n = net.node_count();
+        let plans = PlanSet::compile(&delp).expect("validated DELP: every rule has an event atom");
         Runtime {
             delp,
+            plans,
             sim: Sim::new(net),
             dbs: (0..n).map(|_| Database::new()).collect(),
             events: (0..n).map(|_| HashMap::new()).collect(),
@@ -321,12 +333,24 @@ impl<R: ProvRecorder> Runtime<R> {
     pub fn attach_telemetry(&mut self, telemetry: TelemetryHandle) {
         self.sim.set_telemetry(telemetry.clone());
         self.recorder.attach_telemetry(telemetry.clone());
+        telemetry.count(
+            dpc_telemetry::counters::PLANS_COMPILED,
+            None,
+            self.plans.len() as u64,
+        );
         self.telemetry = Some(telemetry);
     }
 
     /// The attached telemetry sink, if any.
     pub fn telemetry(&self) -> Option<&TelemetryHandle> {
         self.telemetry.as_ref()
+    }
+
+    /// Toggle compiled-plan evaluation after construction (see
+    /// [`RuntimeConfig::compiled_plans`]). Benchmarks use this to compare
+    /// the interpreter against the compiled path on identical workloads.
+    pub fn set_compiled_plans(&mut self, on: bool) {
+        self.config.compiled_plans = on;
     }
 
     /// Headline counters of the run so far, aggregated across nodes:
@@ -669,14 +693,40 @@ impl<R: ProvRecorder> Runtime<R> {
             self.dbs[node.index()].insert(tuple.clone());
         }
 
-        // Stage 2: fire every rule whose event relation matches.
-        let rules: Vec<_> = self.delp.rules_for_event(tuple.rel()).cloned().collect();
+        // Stage 2: fire every rule whose event relation matches. Plans are
+        // `Arc`s, so collecting them is a refcount bump per rule (the old
+        // path deep-cloned each `Rule` here, per event).
+        let plans: Vec<std::sync::Arc<RulePlan>> = self.plans.plans_for_event(tuple.rel()).to_vec();
         let mut ev_end = at;
-        for rule in &rules {
+        for plan in &plans {
+            let rule = plan.rule();
             if let Some(t) = &self.telemetry {
                 t.count("engine.joins_attempted", Some(node.0), 1);
             }
-            let firings = eval_rule(rule, &tuple, &self.dbs[node.index()], &self.fns)?;
+            let firings = if self.config.compiled_plans {
+                let mut stats = EvalStats::default();
+                let firings =
+                    plan.eval(&tuple, &mut self.dbs[node.index()], &self.fns, &mut stats)?;
+                if let Some(t) = &self.telemetry {
+                    if stats.index_hits > 0 {
+                        t.count(
+                            dpc_telemetry::counters::INDEX_HITS,
+                            Some(node.0),
+                            stats.index_hits,
+                        );
+                    }
+                    if stats.index_misses > 0 {
+                        t.count(
+                            dpc_telemetry::counters::INDEX_MISSES,
+                            Some(node.0),
+                            stats.index_misses,
+                        );
+                    }
+                }
+                firings
+            } else {
+                eval_rule(rule, &tuple, &self.dbs[node.index()], &self.fns)?
+            };
             for firing in firings {
                 self.rules_fired += 1;
                 self.metrics[node.index()].rules_fired += 1;

@@ -12,8 +12,63 @@
 
 use dpc_common::{EqKeyHash, Error, Result, Tuple, Value};
 
+use crate::ast::{BodyItem, Rule, Term};
 use crate::delp::Delp;
 use crate::depgraph::DepGraph;
+
+/// Per-condition-atom join-key positions: for each condition atom of
+/// `rule`, in body order, the argument positions whose value is fixed by
+/// the time the atom joins — constants, variables bound by the event atom,
+/// by earlier condition atoms, or by assignments appearing earlier in the
+/// body. These are the positions a secondary index can be keyed on
+/// (the `joinSAttr` static analysis of §5.2, reused by the engine's rule
+/// compiler); positions are ascending. An empty inner vector means the
+/// atom has no bound positions and can only be joined by scanning.
+pub fn join_key_positions(rule: &Rule) -> Vec<Vec<usize>> {
+    fn bind_atom_vars<'a>(
+        atom: &'a crate::ast::Atom,
+        bound: &mut std::collections::HashSet<&'a str>,
+    ) {
+        for t in &atom.args {
+            if let Term::Var(v) = t {
+                bound.insert(v.as_str());
+            }
+        }
+    }
+    let mut bound: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    let mut seen_event = false;
+    for item in &rule.body {
+        match item {
+            BodyItem::Atom(atom) => {
+                if !seen_event {
+                    // First relational atom is the triggering event: all its
+                    // variables are bound before any join runs.
+                    seen_event = true;
+                    bind_atom_vars(atom, &mut bound);
+                    continue;
+                }
+                let key = atom
+                    .args
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => bound.contains(v.as_str()),
+                    })
+                    .map(|(p, _)| p)
+                    .collect();
+                out.push(key);
+                bind_atom_vars(atom, &mut bound);
+            }
+            BodyItem::Constraint { .. } => {}
+            BodyItem::Assign { var, .. } => {
+                bound.insert(var.as_str());
+            }
+        }
+    }
+    out
+}
 
 /// The equivalence keys of a DELP's input event relation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -212,6 +267,37 @@ mod tests {
         // Y never touches slow state; only location is a key.
         let k = keys(src);
         assert_eq!(k.indices(), &[0]);
+    }
+
+    #[test]
+    fn join_key_positions_forwarding() {
+        let p = parse_program(FORWARDING).unwrap();
+        // r1: event packet(@L,S,D,DT) binds all vars; route(@L,D,N) is
+        // bound on positions 0 (L) and 1 (D), N is free.
+        assert_eq!(join_key_positions(p.rule("r1").unwrap()), vec![vec![0, 1]]);
+        // r2 has no condition atoms.
+        assert!(join_key_positions(p.rule("r2").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn join_key_positions_dns() {
+        let p = parse_program(DNS).unwrap();
+        // r2: nameServer(@X, DM, SV) — only X is bound by the event.
+        assert_eq!(join_key_positions(p.rule("r2").unwrap()), vec![vec![0]]);
+        // r3: addressRecord(@X, URL, IPADDR) — X and URL bound.
+        assert_eq!(join_key_positions(p.rule("r3").unwrap()), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn join_key_positions_counts_consts_assigns_and_earlier_atoms() {
+        let src = r#"
+            r1 out(@X, Z) :- e(@X), Y := 7, s(@X, Y, "tag", W), t(@W, Z).
+        "#;
+        let p = parse_program(src).unwrap();
+        let keys = join_key_positions(&p.rules[0]);
+        // s: X (event), Y (assigned), "tag" (const) bound; W free.
+        // t: W bound by the earlier s atom; Z free.
+        assert_eq!(keys, vec![vec![0, 1, 2], vec![0]]);
     }
 
     #[test]

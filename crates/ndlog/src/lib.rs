@@ -48,6 +48,6 @@ pub mod rewrite;
 pub use ast::{Atom, BinOp, BodyItem, CmpOp, Expr, Program, Rule, Term};
 pub use delp::Delp;
 pub use depgraph::DepGraph;
-pub use keys::{equivalence_keys, equivalence_keys_with_graph, EquivKeys};
+pub use keys::{equivalence_keys, equivalence_keys_with_graph, join_key_positions, EquivKeys};
 pub use lint::{lint, Lint};
 pub use parser::parse_program;

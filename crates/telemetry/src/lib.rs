@@ -37,6 +37,23 @@ pub mod chrome;
 pub mod json;
 pub mod span;
 
+/// Well-known counter names emitted by the engine's evaluation hot path.
+///
+/// Counters are dynamically keyed strings; this module pins down the names
+/// shared between the emitting side (`dpc-engine`) and the reading side
+/// (`dpc-bench` run records, CI assertions) so they cannot drift apart.
+pub mod counters {
+    /// Join probes served by a secondary `(relation, positions)` hash
+    /// index during compiled-plan evaluation.
+    pub const INDEX_HITS: &str = "engine.index_hits";
+    /// Join probes that fell back to a full table scan (no bound
+    /// positions, or a degenerate index).
+    pub const INDEX_MISSES: &str = "engine.index_misses";
+    /// Rule plans compiled at runtime construction; emitted once when
+    /// telemetry attaches.
+    pub const PLANS_COMPILED: &str = "engine.plans_compiled";
+}
+
 pub use chrome::chrome_trace;
 pub use json::Json;
 pub use span::{
