@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dpc_common::{Error, Result, Tuple, Value};
-use dpc_ndlog::{Atom, BinOp, BodyItem, CmpOp, Expr, Rule, Term};
+use dpc_ndlog::{Atom, BinOp, BodyItem, CmpOp, Expr, ExprKind, Rule, TermKind};
 
 use crate::db::Database;
 
@@ -75,13 +75,13 @@ fn unify_atom(atom: &Atom, tuple: &Tuple, bind: &mut Bindings) -> bool {
         return false;
     }
     for (term, val) in atom.args.iter().zip(tuple.args()) {
-        match term {
-            Term::Const(c) => {
+        match &term.kind {
+            TermKind::Const(c) => {
                 if c != val {
                     return false;
                 }
             }
-            Term::Var(v) => match bind.get(v) {
+            TermKind::Var(v) => match bind.get(v) {
                 Some(existing) => {
                     if existing != val {
                         return false;
@@ -98,18 +98,18 @@ fn unify_atom(atom: &Atom, tuple: &Tuple, bind: &mut Bindings) -> bool {
 
 /// Evaluate an expression under bindings.
 pub fn eval_expr(expr: &Expr, bind: &Bindings, fns: &FnRegistry) -> Result<Value> {
-    match expr {
-        Expr::Var(v) => bind
+    match &expr.kind {
+        ExprKind::Var(v) => bind
             .get(v)
             .cloned()
             .ok_or_else(|| Error::Eval(format!("unbound variable `{v}`"))),
-        Expr::Const(c) => Ok(c.clone()),
-        Expr::BinOp(op, l, r) => {
+        ExprKind::Const(c) => Ok(c.clone()),
+        ExprKind::BinOp(op, l, r) => {
             let lv = eval_expr(l, bind, fns)?;
             let rv = eval_expr(r, bind, fns)?;
             apply_binop(*op, &lv, &rv)
         }
-        Expr::Call(name, args) => {
+        ExprKind::Call(name, args) => {
             let f = fns
                 .get(name)
                 .ok_or_else(|| Error::Eval(format!("unknown function `{name}`")))?;
@@ -179,9 +179,9 @@ fn build_head(head: &Atom, bind: &Bindings) -> Result<Tuple> {
     let args = head
         .args
         .iter()
-        .map(|t| match t {
-            Term::Const(c) => Ok(c.clone()),
-            Term::Var(v) => bind
+        .map(|t| match &t.kind {
+            TermKind::Const(c) => Ok(c.clone()),
+            TermKind::Var(v) => bind
                 .get(v)
                 .cloned()
                 .ok_or_else(|| Error::Eval(format!("unbound head variable `{v}`"))),
@@ -236,7 +236,9 @@ pub fn eval_rule(
                 }
                 partials = next;
             }
-            BodyItem::Constraint { left, op, right } => {
+            BodyItem::Constraint {
+                left, op, right, ..
+            } => {
                 let mut next = Vec::new();
                 for (bind, slow) in partials {
                     let lv = eval_expr(left, &bind, fns)?;
@@ -247,7 +249,7 @@ pub fn eval_rule(
                 }
                 partials = next;
             }
-            BodyItem::Assign { var, expr } => {
+            BodyItem::Assign { var, expr, .. } => {
                 let mut next = Vec::new();
                 for (mut bind, slow) in partials {
                     let v = eval_expr(expr, &bind, fns)?;

@@ -28,7 +28,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dpc_common::{Error, RelName, Result, Tuple, Value};
-use dpc_ndlog::{join_key_positions, Atom, BodyItem, CmpOp, Delp, Expr, Rule, Term};
+use dpc_ndlog::{join_key_positions, Atom, BodyItem, CmpOp, Delp, Expr, ExprKind, Rule, TermKind};
 
 use crate::db::Database;
 use crate::eval::{apply_binop, compare, Firing, FnRegistry};
@@ -173,9 +173,9 @@ impl RulePlan {
         // binding set.
         let mut event_terms = Vec::with_capacity(event_atom.arity());
         for term in &event_atom.args {
-            event_terms.push(match term {
-                Term::Const(c) => MatchTerm::Const(c.clone()),
-                Term::Var(v) => {
+            event_terms.push(match &term.kind {
+                TermKind::Const(c) => MatchTerm::Const(c.clone()),
+                TermKind::Var(v) => {
                     let s = slots.slot_of(v);
                     if slots.is_bound(s) {
                         MatchTerm::Check(s)
@@ -207,14 +207,16 @@ impl RulePlan {
                     join_idx += 1;
                     steps.push(PlanStep::Join(compile_join(atom, keyed, &mut slots)?));
                 }
-                BodyItem::Constraint { left, op, right } => {
+                BodyItem::Constraint {
+                    left, op, right, ..
+                } => {
                     steps.push(PlanStep::Filter {
                         left: compile_expr(left, &mut slots),
                         op: *op,
                         right: compile_expr(right, &mut slots),
                     });
                 }
-                BodyItem::Assign { var, expr } => {
+                BodyItem::Assign { var, expr, .. } => {
                     let compiled = compile_expr(expr, &mut slots);
                     let s = slots.slot_of(var);
                     slots.bind(s);
@@ -232,9 +234,9 @@ impl RulePlan {
             .head
             .args
             .iter()
-            .map(|t| match t {
-                Term::Const(c) => ValSource::Const(c.clone()),
-                Term::Var(v) => ValSource::Slot(slots.slot_of(v)),
+            .map(|t| match &t.kind {
+                TermKind::Const(c) => ValSource::Const(c.clone()),
+                TermKind::Var(v) => ValSource::Slot(slots.slot_of(v)),
             })
             .collect();
 
@@ -376,6 +378,251 @@ impl RulePlan {
             .collect()
     }
 
+    /// Audit the compiled plan against its own source rule.
+    ///
+    /// Recomputes the static join-key analysis
+    /// ([`dpc_ndlog::join_key_positions`]) and replays the plan's binding
+    /// discipline symbolically: every slot must be written before it is
+    /// read, every `Check` must follow a `Bind`, every join's key
+    /// positions must match the analysis (ascending, in range, disjoint
+    /// from the residual match terms, and together covering the atom), and
+    /// every head slot must be bound by the end of the body. A plan fresh
+    /// out of [`RulePlan::compile`] on a structurally valid rule always
+    /// passes; a corrupted or stale plan (e.g. after an AST change that the
+    /// compiler was not updated for) fails with a description of the first
+    /// inconsistency found.
+    pub fn audit(&self) -> Result<()> {
+        let fail = |what: String| {
+            Err(Error::Schema(format!(
+                "plan audit failed for rule `{}`: {what}",
+                self.rule.label
+            )))
+        };
+        let nslots = self.names.len();
+        let mut bound = vec![false; nslots];
+
+        // Event match program.
+        if self.event.terms.len() != self.event.arity {
+            return fail(format!(
+                "event plan has {} match terms for arity {}",
+                self.event.terms.len(),
+                self.event.arity
+            ));
+        }
+        for (p, term) in self.event.terms.iter().enumerate() {
+            match term {
+                MatchTerm::Const(_) => {}
+                MatchTerm::Bind(s) => {
+                    if *s >= nslots {
+                        return fail(format!("event position {p} binds out-of-range slot {s}"));
+                    }
+                    if bound[*s] {
+                        return fail(format!(
+                            "event position {p} re-binds slot {s} (`{}`)",
+                            self.names[*s]
+                        ));
+                    }
+                    bound[*s] = true;
+                }
+                MatchTerm::Check(s) => {
+                    if *s >= nslots {
+                        return fail(format!("event position {p} checks out-of-range slot {s}"));
+                    }
+                    if !bound[*s] {
+                        return fail(format!(
+                            "event position {p} checks slot {s} (`{}`) before it is bound",
+                            self.names[*s]
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Body steps, replayed in order against the recomputed analysis.
+        let expected_keys = join_key_positions(&self.rule);
+        let mut join_idx = 0usize;
+        for step in &self.steps {
+            match step {
+                PlanStep::Join(j) => {
+                    let expected = expected_keys.get(join_idx).map_or(&[][..], Vec::as_slice);
+                    join_idx += 1;
+                    if &*j.key_positions != expected {
+                        return fail(format!(
+                            "join #{join_idx} on `{}` has key positions {:?}, static analysis \
+                             says {:?}",
+                            j.rel, j.key_positions, expected
+                        ));
+                    }
+                    if j.key_sources.len() != j.key_positions.len() {
+                        return fail(format!(
+                            "join #{join_idx} on `{}` has {} key sources for {} key positions",
+                            j.rel,
+                            j.key_sources.len(),
+                            j.key_positions.len()
+                        ));
+                    }
+                    if j.key_positions.windows(2).any(|w| w[0] >= w[1]) {
+                        return fail(format!(
+                            "join #{join_idx} on `{}` key positions {:?} are not strictly \
+                             ascending",
+                            j.rel, j.key_positions
+                        ));
+                    }
+                    if let Some(&p) = j.key_positions.iter().find(|&&p| p >= j.arity) {
+                        return fail(format!(
+                            "join #{join_idx} on `{}` keys position {p} beyond arity {}",
+                            j.rel, j.arity
+                        ));
+                    }
+                    for src in &j.key_sources {
+                        if let ValSource::Slot(s) = src {
+                            if *s >= nslots {
+                                return fail(format!(
+                                    "join #{join_idx} on `{}` keys out-of-range slot {s}",
+                                    j.rel
+                                ));
+                            }
+                            if !bound[*s] {
+                                return fail(format!(
+                                    "join #{join_idx} on `{}` keys slot {s} (`{}`) which is \
+                                     unbound at join time",
+                                    j.rel, self.names[*s]
+                                ));
+                            }
+                        }
+                    }
+                    // The residual terms must cover exactly the non-key
+                    // positions, each once.
+                    let mut covered: Vec<usize> = j.key_positions.to_vec();
+                    let mut in_atom: Vec<usize> = Vec::new();
+                    for (p, term) in &j.rest {
+                        if *p >= j.arity || covered.contains(p) {
+                            return fail(format!(
+                                "join #{join_idx} on `{}` matches position {p} twice or beyond \
+                                 arity {}",
+                                j.rel, j.arity
+                            ));
+                        }
+                        covered.push(*p);
+                        match term {
+                            MatchTerm::Const(_) => {}
+                            MatchTerm::Bind(s) => {
+                                if *s >= nslots {
+                                    return fail(format!(
+                                        "join #{join_idx} on `{}` binds out-of-range slot {s}",
+                                        j.rel
+                                    ));
+                                }
+                                if bound[*s] || in_atom.contains(s) {
+                                    return fail(format!(
+                                        "join #{join_idx} on `{}` re-binds slot {s} (`{}`)",
+                                        j.rel, self.names[*s]
+                                    ));
+                                }
+                                in_atom.push(*s);
+                            }
+                            MatchTerm::Check(s) => {
+                                if *s >= nslots {
+                                    return fail(format!(
+                                        "join #{join_idx} on `{}` checks out-of-range slot {s}",
+                                        j.rel
+                                    ));
+                                }
+                                if !bound[*s] && !in_atom.contains(s) {
+                                    return fail(format!(
+                                        "join #{join_idx} on `{}` checks slot {s} (`{}`) before \
+                                         it is bound",
+                                        j.rel, self.names[*s]
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    if covered.len() != j.arity {
+                        return fail(format!(
+                            "join #{join_idx} on `{}` covers {} of {} positions",
+                            j.rel,
+                            covered.len(),
+                            j.arity
+                        ));
+                    }
+                    for s in in_atom {
+                        bound[s] = true;
+                    }
+                }
+                PlanStep::Filter { left, right, .. } => {
+                    for expr in [left, right] {
+                        self.audit_expr(expr, &bound, "filter")?;
+                    }
+                }
+                PlanStep::Assign { slot, expr } => {
+                    self.audit_expr(expr, &bound, "assignment")?;
+                    if *slot >= nslots {
+                        return fail(format!("assignment writes out-of-range slot {slot}"));
+                    }
+                    bound[*slot] = true;
+                }
+            }
+        }
+        if join_idx != expected_keys.len() {
+            return fail(format!(
+                "plan has {join_idx} joins, source rule has {}",
+                expected_keys.len()
+            ));
+        }
+
+        // Head template.
+        if self.head.len() != self.rule.head.arity() {
+            return fail(format!(
+                "head template has {} sources for arity {}",
+                self.head.len(),
+                self.rule.head.arity()
+            ));
+        }
+        for (p, src) in self.head.iter().enumerate() {
+            if let ValSource::Slot(s) = src {
+                if *s >= nslots {
+                    return fail(format!("head position {p} reads out-of-range slot {s}"));
+                }
+                if !bound[*s] {
+                    return fail(format!(
+                        "head position {p} reads slot {s} (`{}`) which is never bound",
+                        self.names[*s]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check that every slot an expression reads is bound at this point.
+    fn audit_expr(&self, expr: &PlanExpr, bound: &[bool], ctx: &str) -> Result<()> {
+        match expr {
+            PlanExpr::Slot(s) => {
+                if *s >= bound.len() {
+                    return Err(Error::Schema(format!(
+                        "plan audit failed for rule `{}`: {ctx} reads out-of-range slot {s}",
+                        self.rule.label
+                    )));
+                }
+                if !bound[*s] {
+                    return Err(Error::Schema(format!(
+                        "plan audit failed for rule `{}`: {ctx} reads slot {s} (`{}`) before it \
+                         is bound",
+                        self.rule.label, self.names[*s]
+                    )));
+                }
+                Ok(())
+            }
+            PlanExpr::Const(_) => Ok(()),
+            PlanExpr::BinOp(_, l, r) => {
+                self.audit_expr(l, bound, ctx)?;
+                self.audit_expr(r, bound, ctx)
+            }
+            PlanExpr::Call(_, args) => args.iter().try_for_each(|a| self.audit_expr(a, bound, ctx)),
+        }
+    }
+
     fn key_value<'b>(&self, src: &'b ValSource, bind: &'b [Option<Value>]) -> Result<&'b Value> {
         match src {
             ValSource::Const(c) => Ok(c),
@@ -492,15 +739,15 @@ fn compile_join(atom: &Atom, keyed: &[usize], slots: &mut SlotMap) -> Result<Joi
     let mut bound_in_atom: Vec<usize> = Vec::new();
     for (p, term) in atom.args.iter().enumerate() {
         let is_key = keyed.contains(&p);
-        match term {
-            Term::Const(c) => {
+        match &term.kind {
+            TermKind::Const(c) => {
                 if is_key {
                     key_sources.push(ValSource::Const(c.clone()));
                 } else {
                     rest.push((p, MatchTerm::Const(c.clone())));
                 }
             }
-            Term::Var(v) => {
+            TermKind::Var(v) => {
                 let s = slots.slot_of(v);
                 if is_key {
                     if !slots.is_bound(s) {
@@ -532,15 +779,15 @@ fn compile_join(atom: &Atom, keyed: &[usize], slots: &mut SlotMap) -> Result<Joi
 }
 
 fn compile_expr(expr: &Expr, slots: &mut SlotMap) -> PlanExpr {
-    match expr {
-        Expr::Var(v) => PlanExpr::Slot(slots.slot_of(v)),
-        Expr::Const(c) => PlanExpr::Const(c.clone()),
-        Expr::BinOp(op, l, r) => PlanExpr::BinOp(
+    match &expr.kind {
+        ExprKind::Var(v) => PlanExpr::Slot(slots.slot_of(v)),
+        ExprKind::Const(c) => PlanExpr::Const(c.clone()),
+        ExprKind::BinOp(op, l, r) => PlanExpr::BinOp(
             *op,
             Box::new(compile_expr(l, slots)),
             Box::new(compile_expr(r, slots)),
         ),
-        Expr::Call(name, args) => PlanExpr::Call(
+        ExprKind::Call(name, args) => PlanExpr::Call(
             name.clone(),
             args.iter().map(|a| compile_expr(a, slots)).collect(),
         ),
@@ -575,6 +822,32 @@ impl PlanSet {
     /// Plans whose event relation is `rel`, in program order.
     pub fn plans_for_event(&self, rel: &str) -> &[Arc<RulePlan>] {
         self.by_event.get(rel).map_or(&[], Vec::as_slice)
+    }
+
+    /// Audit every compiled plan (see [`RulePlan::audit`]) and check the
+    /// event-relation grouping. Returns the number of plans audited.
+    pub fn audit(&self) -> Result<usize> {
+        let mut audited = 0;
+        for (rel, plans) in &self.by_event {
+            for plan in plans {
+                if plan.event.rel != *rel {
+                    return Err(Error::Schema(format!(
+                        "plan audit failed for rule `{}`: grouped under event `{rel}` but \
+                         compiled for `{}`",
+                        plan.rule.label, plan.event.rel
+                    )));
+                }
+                plan.audit()?;
+                audited += 1;
+            }
+        }
+        if audited != self.total {
+            return Err(Error::Schema(format!(
+                "plan audit failed: {audited} plans in groups, {} recorded",
+                self.total
+            )));
+        }
+        Ok(audited)
     }
 
     /// Number of compiled plans.
@@ -739,6 +1012,73 @@ mod tests {
         check_parity(src, "r1", &ev, &mut db, &fns);
         let src2 = "r1 out(@X) :- e(@X, U), f_nope(U) == true.";
         check_parity(src2, "r1", &ev.clone(), &mut db, &fns);
+    }
+
+    #[test]
+    fn audit_passes_on_bundled_programs() {
+        for delp in [
+            dpc_ndlog::programs::packet_forwarding(),
+            dpc_ndlog::programs::dns_resolution(),
+            dpc_ndlog::programs::dhcp(),
+            dpc_ndlog::programs::arp(),
+        ] {
+            let plans = PlanSet::compile(&delp).unwrap();
+            assert_eq!(plans.audit().unwrap(), plans.len());
+        }
+    }
+
+    #[test]
+    fn audit_passes_on_assignments_and_constraints() {
+        let src = r#"
+            r1 out(@X, W) :- e(@X, N), s(@X, Y), W := N + Y, W > 1, f_abs(W) == W.
+        "#;
+        let p = parse_program(src).unwrap();
+        let plan = RulePlan::compile(p.rule("r1").unwrap()).unwrap();
+        plan.audit().unwrap();
+    }
+
+    #[test]
+    fn audit_catches_corrupted_join_key_positions() {
+        let p = parse_program(dpc_ndlog::programs::PACKET_FORWARDING).unwrap();
+        let mut plan = RulePlan::compile(p.rule("r1").unwrap()).unwrap();
+        // route(@L, D, N) is keyed on [0, 1]; pretend the compiler keyed it
+        // on [0] only — the index would probe a different bucket set.
+        match &mut plan.steps[0] {
+            PlanStep::Join(j) => {
+                j.key_positions = vec![0].into();
+                j.key_sources.truncate(1);
+            }
+            other => panic!("expected join step, got {other:?}"),
+        }
+        let err = plan.audit().unwrap_err().to_string();
+        assert!(err.contains("key positions"), "unexpected message: {err}");
+        assert!(err.contains("r1"), "audit should name the rule: {err}");
+    }
+
+    #[test]
+    fn audit_catches_unbound_key_slot() {
+        let p = parse_program(dpc_ndlog::programs::PACKET_FORWARDING).unwrap();
+        let mut plan = RulePlan::compile(p.rule("r1").unwrap()).unwrap();
+        // Re-point a key source at a slot the event never binds.
+        plan.names.push("PHANTOM".to_string());
+        let phantom = plan.names.len() - 1;
+        match &mut plan.steps[0] {
+            PlanStep::Join(j) => j.key_sources[0] = ValSource::Slot(phantom),
+            other => panic!("expected join step, got {other:?}"),
+        }
+        let err = plan.audit().unwrap_err().to_string();
+        assert!(err.contains("unbound at join time"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn audit_catches_unbound_head_slot() {
+        let p = parse_program(dpc_ndlog::programs::PACKET_FORWARDING).unwrap();
+        let mut plan = RulePlan::compile(p.rule("r2").unwrap()).unwrap();
+        plan.names.push("PHANTOM".to_string());
+        let phantom = plan.names.len() - 1;
+        plan.head[0] = ValSource::Slot(phantom);
+        let err = plan.audit().unwrap_err().to_string();
+        assert!(err.contains("never bound"), "unexpected: {err}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use dpc_common::{Error, EvId, NodeId, Result, StorageSize, Tuple, Vid};
-use dpc_ndlog::Delp;
+use dpc_ndlog::{analyze, Delp, Mode as AnalysisMode};
 use dpc_netsim::{Network, Sim, SimTime, TrafficStats};
 use dpc_telemetry::{AttrValue, SpanContext, TelemetryHandle, TraceKind};
 
@@ -219,8 +219,34 @@ impl<R: ProvRecorder> RuntimeBuilder<R> {
     }
 
     /// Validate and construct the [`Runtime`].
+    ///
+    /// Runs the full static analysis (`dpc_ndlog::analyze`) over the
+    /// program: error-severity diagnostics fail the build with the
+    /// rendered report (defense in depth — [`Delp`] construction already
+    /// rejects them), warnings are accepted and surfaced through the
+    /// [`dpc_telemetry::counters::LINT_WARNINGS`] counter when a telemetry
+    /// sink is attached. Every compiled [`RulePlan`] is audited against
+    /// the static join-key analysis before the runtime is returned.
     pub fn build(self) -> Result<Runtime<R>> {
+        let mode = if self.delp.is_strict() {
+            AnalysisMode::Strict
+        } else {
+            AnalysisMode::Relaxed
+        };
+        let analysis = analyze(self.delp.program(), mode);
+        if analysis.has_errors() {
+            let src = self.delp.program().to_string();
+            let mut report = String::new();
+            for d in analysis.errors() {
+                report.push_str(&d.render(&src, "<program>"));
+            }
+            return Err(Error::InvalidDelp(report));
+        }
+        let lint_warnings = analysis.warnings().count() as u64;
+
         let mut rt = Runtime::new(self.delp, self.net, self.recorder);
+        rt.plans.audit()?;
+        rt.lint_warnings = lint_warnings;
         rt.config = self.config;
         rt.fns = self.fns;
         rt.apply_interest(self.interest)?;
@@ -256,6 +282,9 @@ pub struct Runtime<R> {
     outputs_count: u64,
     /// Errors from rule evaluation are fatal to the run; kept for context.
     rules_fired: u64,
+    /// Static-analysis warnings accepted at build time (see
+    /// [`RuntimeBuilder::build`]); exported when telemetry attaches.
+    lint_warnings: u64,
     telemetry: Option<TelemetryHandle>,
 }
 
@@ -287,6 +316,7 @@ impl<R: ProvRecorder> Runtime<R> {
             metrics: vec![NodeMetrics::default(); n],
             outputs_count: 0,
             rules_fired: 0,
+            lint_warnings: 0,
             telemetry: None,
         }
     }
@@ -338,6 +368,13 @@ impl<R: ProvRecorder> Runtime<R> {
             None,
             self.plans.len() as u64,
         );
+        if self.lint_warnings > 0 {
+            telemetry.count(
+                dpc_telemetry::counters::LINT_WARNINGS,
+                None,
+                self.lint_warnings,
+            );
+        }
         self.telemetry = Some(telemetry);
     }
 
@@ -1013,6 +1050,46 @@ mod tests {
             .map(|o| o.tuple.args()[3].as_str().unwrap().to_string())
             .collect();
         assert_eq!(payloads, vec!["p0", "p2", "p4"]);
+    }
+
+    #[test]
+    fn builder_exports_lint_warnings_counter() {
+        // Z is never used: W0201 on a strictly valid program.
+        let p = dpc_ndlog::parse_program("r1 out(@X, Y) :- e(@X, Y, Z).").unwrap();
+        let delp = Delp::new(p).unwrap();
+        let t = dpc_telemetry::Telemetry::handle();
+        Runtime::builder(delp, topo::line(2, Link::STUB_STUB))
+            .telemetry(t.clone())
+            .build()
+            .unwrap();
+        assert_eq!(
+            t.counter_total(dpc_telemetry::counters::LINT_WARNINGS),
+            1,
+            "one W0201 warning should be exported"
+        );
+    }
+
+    #[test]
+    fn builder_on_clean_program_exports_no_lint_warnings() {
+        let t = dpc_telemetry::Telemetry::handle();
+        Runtime::builder(
+            programs::packet_forwarding(),
+            topo::line(2, Link::STUB_STUB),
+        )
+        .telemetry(t.clone())
+        .build()
+        .unwrap();
+        assert_eq!(t.counter_total(dpc_telemetry::counters::LINT_WARNINGS), 0);
+    }
+
+    #[test]
+    fn builder_audits_compiled_plans() {
+        // A successful build implies every plan passed the audit; make
+        // sure the audit also runs standalone over the built plans.
+        let rt = Runtime::builder(programs::dns_resolution(), topo::line(2, Link::STUB_STUB))
+            .build()
+            .unwrap();
+        assert_eq!(rt.plans.audit().unwrap(), rt.plans.len());
     }
 
     #[test]

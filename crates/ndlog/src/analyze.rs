@@ -1,0 +1,1043 @@
+//! Semantic analysis for NDlog programs: DELP validation (Definition 1),
+//! safety and consistency checks, and advisory lints — all reported as
+//! typed [`Diagnostic`]s with stable codes and source spans.
+//!
+//! The pipeline has two layers:
+//!
+//! 1. [`analyze_structure`] runs the *structural* checks (`E01xx`): the
+//!    conditions of Definition 1, range restriction, arity consistency and
+//!    relation classification sanity. [`crate::delp::Delp`] builds on this
+//!    layer, so `Delp::new` and the analyzer can never disagree.
+//! 2. [`analyze`] additionally runs the *advisory* passes (`W02xx`) on
+//!    structurally sound programs: unused / unbound variables, locality of
+//!    condition atoms, dead-rule reachability, shadowed assignments,
+//!    attribute type-kind inference, and equivalence-key coverage (a key
+//!    set covering every event attribute means no two events are ever
+//!    equivalent, so provenance compression cannot help).
+//!
+//! Under [`Mode::Relaxed`] (used for derived programs such as the output
+//! of [`crate::rewrite`]), the strict-only conditions of Definition 1
+//! (E0104, E0105, E0107) are downgraded to warnings instead of dropped,
+//! so `Delp::new_relaxed` can surface what it tolerates.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use dpc_common::Value;
+
+use crate::ast::{Atom, BodyItem, Expr, ExprKind, Program, Term};
+use crate::delp::Delp;
+use crate::diag::{Code, Diagnostic, Label};
+use crate::keys::equivalence_keys;
+use crate::span::Span;
+
+/// Which rule set to validate against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Full Definition 1: consecutive rules must be dependent and head
+    /// relations may only appear as events. User-written DELPs.
+    Strict,
+    /// For derived programs (e.g. the provenance rewrite output): the
+    /// strict-only conditions are reported as warnings, not errors.
+    Relaxed,
+}
+
+impl Mode {
+    fn is_strict(self) -> bool {
+        matches!(self, Mode::Strict)
+    }
+
+    /// Keep `d` as-is under [`Mode::Strict`]; downgrade it to a warning
+    /// under [`Mode::Relaxed`].
+    fn apply(self, d: Diagnostic) -> Diagnostic {
+        if self.is_strict() {
+            d
+        } else {
+            d.warning()
+        }
+    }
+}
+
+/// The value kind an attribute is inferred to hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeKind {
+    /// No evidence either way.
+    Unknown,
+    /// A node address ([`Value::Addr`]); every location specifier is one.
+    Addr,
+    /// An integer ([`Value::Int`]).
+    Int,
+    /// A string ([`Value::Str`]).
+    Str,
+    /// A boolean ([`Value::Bool`]).
+    Bool,
+    /// Conflicting evidence (reported as [`Code::W0208`]).
+    Conflict,
+}
+
+impl fmt::Display for TypeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TypeKind::Unknown => "unknown",
+            TypeKind::Addr => "address",
+            TypeKind::Int => "integer",
+            TypeKind::Str => "string",
+            TypeKind::Bool => "boolean",
+            TypeKind::Conflict => "conflicting",
+        })
+    }
+}
+
+fn kind_of(v: &Value) -> TypeKind {
+    match v {
+        Value::Addr(_) => TypeKind::Addr,
+        Value::Int(_) => TypeKind::Int,
+        Value::Str(_) => TypeKind::Str,
+        Value::Bool(_) => TypeKind::Bool,
+    }
+}
+
+/// What the analyzer inferred about one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationInfo {
+    /// Arity (maximum seen, should be unique in valid programs).
+    pub arity: usize,
+    /// Inferred value kind per attribute position.
+    pub kinds: Vec<TypeKind>,
+}
+
+/// The result of a full [`analyze`] run.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// All findings: structural errors first, then advisory warnings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-relation arity and attribute kind inference.
+    pub relations: BTreeMap<String, RelationInfo>,
+}
+
+impl Analysis {
+    /// Does the analysis contain any error-severity diagnostic?
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(Diagnostic::is_error)
+    }
+
+    /// Error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.is_error())
+    }
+
+    /// Warning-severity diagnostics.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.is_error())
+    }
+
+    /// Diagnostics carrying a particular code.
+    pub fn by_code(&self, code: Code) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+}
+
+/// Run the full analysis pipeline over `program`.
+///
+/// Structural checks always run; the advisory passes additionally run when
+/// the program is structurally sound (they rely on the classification a
+/// valid DELP provides). Attribute kind inference always runs.
+pub fn analyze(program: &Program, mode: Mode) -> Analysis {
+    let mut diagnostics = analyze_structure(program, mode);
+    let (relations, mut kind_diags) = infer_kinds(program);
+    if !diagnostics.iter().any(Diagnostic::is_error) {
+        let delp = Delp::from_parts(program.clone(), mode.is_strict());
+        rule_passes(&delp, &mut diagnostics);
+        reachability_pass(&delp, &mut diagnostics);
+        key_coverage_pass(&delp, &mut diagnostics);
+    }
+    diagnostics.append(&mut kind_diags);
+    Analysis {
+        diagnostics,
+        relations,
+    }
+}
+
+/// Run only the structural checks (`E01xx`) over `program`.
+///
+/// This is the exact rule set [`Delp::new`] / [`Delp::new_relaxed`]
+/// enforce: the first error-severity diagnostic (in emission order) is the
+/// error `Delp` construction reports. Under [`Mode::Relaxed`] the
+/// strict-only codes E0104, E0105 and E0107 are emitted at warning
+/// severity instead of being suppressed.
+pub fn analyze_structure(program: &Program, mode: Mode) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if program.rules.is_empty() {
+        out.push(Diagnostic::new(
+            Code::E0101,
+            "program has no rules",
+            Label::new(Span::DUMMY, ""),
+        ));
+        return out;
+    }
+
+    // Condition 1: every rule is event-driven and leads with its event.
+    for r in &program.rules {
+        match r.event() {
+            None => out.push(Diagnostic::new(
+                Code::E0102,
+                format!("rule `{}` has no event atom in its body", r.label),
+                Label::new(r.span, "every DELP rule needs a relational event atom"),
+            )),
+            Some(ev) => {
+                if !matches!(r.body.first(), Some(BodyItem::Atom(_))) {
+                    let first = r.body.first().map(|b| b.span()).unwrap_or(r.span);
+                    out.push(
+                        Diagnostic::new(
+                            Code::E0103,
+                            format!(
+                                "rule `{}` must lead with its event atom ([head] :- [event], [conditions])",
+                                r.label
+                            ),
+                            Label::new(first, "this runs before the event binds its variables"),
+                        )
+                        .with_secondary(ev.span, "the event atom is here"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Condition 2: consecutive rules are dependent with matching arities.
+    for pair in program.rules.windows(2) {
+        let (ri, rj) = (&pair[0], &pair[1]);
+        let Some(ev) = rj.event() else { continue };
+        if ri.head.rel != ev.rel {
+            out.push(mode.apply(
+                Diagnostic::new(
+                    Code::E0104,
+                    format!(
+                        "head of `{}` is `{}` but event of `{}` is `{}` — consecutive rules must be dependent",
+                        ri.label, ri.head.rel, rj.label, ev.rel
+                    ),
+                    Label::new(ev.span, format!("expected event relation `{}`", ri.head.rel)),
+                )
+                .with_secondary(ri.head.span, format!("`{}` is derived here", ri.head.rel)),
+            ));
+        } else if ri.head.arity() != ev.arity() {
+            out.push(
+                mode.apply(
+                    Diagnostic::new(
+                        Code::E0105,
+                        format!(
+                            "head `{}` of rule `{}` has arity {} but event of `{}` has arity {}",
+                            ri.head.rel,
+                            ri.label,
+                            ri.head.arity(),
+                            rj.label,
+                            ev.arity()
+                        ),
+                        Label::new(ev.span, format!("consumed here with arity {}", ev.arity())),
+                    )
+                    .with_secondary(
+                        ri.head.span,
+                        format!("derived here with arity {}", ri.head.arity()),
+                    ),
+                ),
+            );
+        }
+    }
+
+    // Arity consistency: every use of a relation agrees on its arity.
+    {
+        let mut arities: BTreeMap<&str, (usize, &str, Span)> = BTreeMap::new();
+        for r in &program.rules {
+            for atom in std::iter::once(&r.head).chain(body_atoms(r)) {
+                match arities.get(atom.rel.as_str()) {
+                    Some(&(n, first_rule, first_span)) if n != atom.arity() => {
+                        out.push(
+                            Diagnostic::new(
+                                Code::E0106,
+                                format!(
+                                    "relation `{}` used with arity {} in rule `{}` but arity {n} in rule `{first_rule}`",
+                                    atom.rel,
+                                    atom.arity(),
+                                    r.label,
+                                ),
+                                Label::new(
+                                    atom.span,
+                                    format!("used here with arity {}", atom.arity()),
+                                ),
+                            )
+                            .with_secondary(first_span, format!("first used with arity {n} here")),
+                        );
+                    }
+                    Some(_) => {}
+                    None => {
+                        arities.insert(&atom.rel, (atom.arity(), &r.label, atom.span));
+                    }
+                }
+            }
+        }
+    }
+
+    // Condition 3: head relations only appear as event atoms in bodies.
+    let mut head_spans: BTreeMap<&str, Span> = BTreeMap::new();
+    for r in &program.rules {
+        head_spans.entry(&r.head.rel).or_insert(r.head.span);
+    }
+    for r in &program.rules {
+        for cond in r.condition_atoms() {
+            if let Some(&hspan) = head_spans.get(cond.rel.as_str()) {
+                out.push(
+                    mode.apply(
+                        Diagnostic::new(
+                            Code::E0107,
+                            format!(
+                                "head relation `{}` appears as a non-event atom in rule `{}`",
+                                cond.rel, r.label
+                            ),
+                            Label::new(cond.span, "used as a slow-changing condition here"),
+                        )
+                        .with_secondary(hspan, format!("`{}` is derived here", cond.rel)),
+                    ),
+                );
+            }
+        }
+    }
+
+    // Safety (range restriction): every head variable is bound by the body.
+    for r in &program.rules {
+        let mut bound: BTreeSet<&str> = BTreeSet::new();
+        for atom in body_atoms(r) {
+            bound.extend(atom.vars());
+        }
+        for (var, _) in r.assignments() {
+            bound.insert(var);
+        }
+        let mut reported: BTreeSet<&str> = BTreeSet::new();
+        for t in &r.head.args {
+            if let Some(v) = t.as_var() {
+                if !bound.contains(v) && reported.insert(v) {
+                    out.push(Diagnostic::new(
+                        Code::E0108,
+                        format!(
+                            "head variable `{v}` of rule `{}` is not bound by the body",
+                            r.label
+                        ),
+                        Label::new(t.span, "not bound by any atom or assignment"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Classification sanity: an output relation must exist, and the input
+    // event must not double as slow-changing state.
+    let head_rels: BTreeSet<&str> = program.rules.iter().map(|r| r.head.rel.as_str()).collect();
+    let event_rels: BTreeSet<&str> = program
+        .rules
+        .iter()
+        .filter_map(|r| r.event().map(|e| e.rel.as_str()))
+        .collect();
+    if head_rels.iter().all(|h| event_rels.contains(h)) {
+        let last = program.rules.last().expect("non-empty");
+        out.push(Diagnostic::new(
+            Code::E0110,
+            "program has no output relation: every head is consumed as an event",
+            Label::new(last.head.span, "this head is also consumed as an event"),
+        ));
+    }
+    if let Some(input) = program.rules[0].event() {
+        let input_rel = input.rel.clone();
+        let input_span = input.span;
+        if let Some(cond) = program
+            .rules
+            .iter()
+            .flat_map(|r| r.condition_atoms())
+            .find(|a| a.rel == input_rel)
+        {
+            out.push(
+                Diagnostic::new(
+                    Code::E0109,
+                    format!(
+                        "input event relation `{input_rel}` also appears as a slow-changing atom"
+                    ),
+                    Label::new(cond.span, "used as a slow-changing condition here"),
+                )
+                .with_secondary(input_span, "the program's input event"),
+            );
+        }
+    }
+
+    // Duplicate labels (the parser rejects these in source text; this
+    // catches programmatically built programs).
+    for (i, r) in program.rules.iter().enumerate() {
+        if let Some(first) = program.rules[..i].iter().find(|p| p.label == r.label) {
+            out.push(
+                Diagnostic::new(
+                    Code::E0111,
+                    format!("duplicate rule label `{}`", r.label),
+                    Label::new(r.label_span, "label redefined here"),
+                )
+                .with_secondary(first.label_span, "first defined here"),
+            );
+        }
+    }
+
+    out
+}
+
+fn body_atoms(r: &crate::ast::Rule) -> impl Iterator<Item = &Atom> {
+    r.body.iter().filter_map(|b| match b {
+        BodyItem::Atom(a) => Some(a),
+        _ => None,
+    })
+}
+
+/// Span of the first occurrence of variable `name` inside `e`.
+fn var_span(e: &Expr, name: &str) -> Option<Span> {
+    match &e.kind {
+        ExprKind::Var(v) if v == name => Some(e.span),
+        ExprKind::Var(_) | ExprKind::Const(_) => None,
+        ExprKind::BinOp(_, l, r) => var_span(l, name).or_else(|| var_span(r, name)),
+        ExprKind::Call(_, args) => args.iter().find_map(|a| var_span(a, name)),
+    }
+}
+
+/// Per-rule advisory passes: W0201 (unused), W0202 (unbound expression
+/// variable), W0203 (constant head location), W0204 (non-local condition
+/// atom), W0206 (shadowed assignment).
+fn rule_passes(delp: &Delp, out: &mut Vec<Diagnostic>) {
+    for rule in delp.rules() {
+        let atoms: Vec<&Atom> = body_atoms(rule).collect();
+
+        // Occurrence counting across the whole rule (W0201 / W0202).
+        let mut occurrences: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut atom_bound: BTreeSet<&str> = BTreeSet::new();
+        let mut assigned: BTreeSet<&str> = BTreeSet::new();
+        for atom in &atoms {
+            for v in atom.vars() {
+                *occurrences.entry(v).or_insert(0) += 1;
+                atom_bound.insert(v);
+            }
+        }
+        for v in rule.head.vars() {
+            *occurrences.entry(v).or_insert(0) += 1;
+        }
+        // Position-sensitive binding for W0206: what is bound *before*
+        // each assignment runs.
+        let mut bound_at: BTreeMap<&str, Span> = BTreeMap::new();
+        for item in &rule.body {
+            match item {
+                BodyItem::Atom(a) => {
+                    for t in &a.args {
+                        if let Some(v) = t.as_var() {
+                            bound_at.entry(v).or_insert(t.span);
+                        }
+                    }
+                }
+                BodyItem::Constraint { left, right, .. } => {
+                    for (expr, v) in left
+                        .vars()
+                        .into_iter()
+                        .map(|v| (left, v))
+                        .chain(right.vars().into_iter().map(|v| (right, v)))
+                    {
+                        *occurrences.entry(v).or_insert(0) += 1;
+                        if !atom_bound.contains(v) && !assigned.contains(v) {
+                            out.push(Diagnostic::new(
+                                Code::W0202,
+                                format!(
+                                    "rule `{}`: expression variable `{v}` is never bound by an atom — evaluation will fail",
+                                    rule.label
+                                ),
+                                Label::new(
+                                    var_span(expr, v).unwrap_or_else(|| item.span()),
+                                    "not bound by any atom or earlier assignment",
+                                ),
+                            ));
+                        }
+                    }
+                }
+                BodyItem::Assign {
+                    var,
+                    var_span: vspan,
+                    expr,
+                } => {
+                    for v in expr.vars() {
+                        *occurrences.entry(v).or_insert(0) += 1;
+                        if !atom_bound.contains(v) && !assigned.contains(v) {
+                            out.push(Diagnostic::new(
+                                Code::W0202,
+                                format!(
+                                    "rule `{}`: expression variable `{v}` is never bound by an atom — evaluation will fail",
+                                    rule.label
+                                ),
+                                Label::new(
+                                    var_span(expr, v).unwrap_or_else(|| item.span()),
+                                    "not bound by any atom or earlier assignment",
+                                ),
+                            ));
+                        }
+                    }
+                    *occurrences.entry(var.as_str()).or_insert(0) += 1;
+                    if let Some(&first) = bound_at.get(var.as_str()) {
+                        out.push(
+                            Diagnostic::new(
+                                Code::W0206,
+                                format!(
+                                    "rule `{}`: assignment shadows variable `{var}` which is already bound",
+                                    rule.label
+                                ),
+                                Label::new(*vspan, "rebound here"),
+                            )
+                            .with_secondary(first, "first bound here"),
+                        );
+                    }
+                    bound_at.insert(var.as_str(), *vspan);
+                    assigned.insert(var.as_str());
+                }
+            }
+        }
+
+        // Location specifiers anchor where a rule executes; a variable
+        // used only as one is doing its job, not dangling.
+        let loc_vars: BTreeSet<&str> = atoms
+            .iter()
+            .filter_map(|a| a.args.first().and_then(Term::as_var))
+            .collect();
+        for (v, count) in &occurrences {
+            if *count == 1 && atom_bound.contains(v) && !loc_vars.contains(v) {
+                let span = atoms
+                    .iter()
+                    .flat_map(|a| a.args.iter())
+                    .find(|t| t.as_var() == Some(v))
+                    .map(|t| t.span)
+                    .unwrap_or(Span::DUMMY);
+                out.push(Diagnostic::new(
+                    Code::W0201,
+                    format!(
+                        "rule `{}`: variable `{v}` is bound but never used",
+                        rule.label
+                    ),
+                    Label::new(span, "bound here, never used again"),
+                ));
+            }
+        }
+
+        // W0203: constant head location specifier.
+        if let Some(t) = rule.head.args.first() {
+            if t.as_const().is_some() {
+                out.push(Diagnostic::new(
+                    Code::W0203,
+                    format!(
+                        "rule `{}`: head location specifier is a constant — all derivations ship to one node",
+                        rule.label
+                    ),
+                    Label::new(t.span, "constant location"),
+                ));
+            }
+        }
+
+        // W0204: condition atoms must be local to the event — a condition
+        // atom with a different location specifier joins state the
+        // executing node does not have.
+        if let Some(ev) = rule.event() {
+            if let Some(ev_loc) = ev.args.first().and_then(Term::as_var) {
+                let ev_loc_span = ev.args.first().map(|t| t.span).unwrap_or(ev.span);
+                for cond in rule.condition_atoms() {
+                    if cond.args.first().and_then(Term::as_var) != Some(ev_loc) {
+                        let span = cond.args.first().map(|t| t.span).unwrap_or(cond.span);
+                        out.push(
+                            Diagnostic::new(
+                                Code::W0204,
+                                format!(
+                                    "rule `{}`: condition atom `{}` is not local to the event — its location specifier should be `{ev_loc}`",
+                                    rule.label, cond.rel
+                                ),
+                                Label::new(span, "location specifier here"),
+                            )
+                            .with_secondary(ev_loc_span, format!("the event executes at `{ev_loc}`")),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// W0205: rules whose event relation can never be derived from the input
+/// event (relation-level reachability).
+fn reachability_pass(delp: &Delp, out: &mut Vec<Diagnostic>) {
+    let input = delp.input_event().to_string();
+    let mut derivable: BTreeSet<&str> = BTreeSet::new();
+    derivable.insert(input.as_str());
+    loop {
+        let mut changed = false;
+        for r in delp.rules() {
+            if let Some(ev) = r.event() {
+                if derivable.contains(ev.rel.as_str()) && derivable.insert(r.head.rel.as_str()) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for r in delp.rules() {
+        let Some(ev) = r.event() else { continue };
+        if !derivable.contains(ev.rel.as_str()) {
+            out.push(Diagnostic::new(
+                Code::W0205,
+                format!(
+                    "rule `{}` can never fire: its event relation `{}` is not derivable from the input event `{input}`",
+                    r.label, ev.rel
+                ),
+                Label::new(ev.span, "never derived by any reachable rule"),
+            ));
+        }
+    }
+}
+
+/// W0207: the equivalence keys cover every attribute of the input event —
+/// no two distinct events are ever equivalent (Definition 2), so the
+/// compression scheme degenerates to storing every provenance tree.
+fn key_coverage_pass(delp: &Delp, out: &mut Vec<Diagnostic>) {
+    let arity = delp.input_event_arity();
+    let keys = equivalence_keys(delp);
+    if arity > 1 && keys.indices().len() == arity {
+        let ev = delp.rules()[0].event().expect("validated");
+        out.push(Diagnostic::new(
+            Code::W0207,
+            format!(
+                "equivalence keys of `{}` cover all {arity} attributes — no two distinct events are equivalent, so provenance compression cannot help",
+                keys.rel()
+            ),
+            Label::new(ev.span, "every attribute of this event is an equivalence key"),
+        ));
+    }
+}
+
+/// Attribute-kind inference (W0208) and the relation summary table.
+///
+/// Attributes that share a variable in some rule (or are equated by a
+/// comparison) are unified; evidence comes from constants, location
+/// specifiers (always addresses), arithmetic operands (always integers)
+/// and constant comparisons. A unification class with two different
+/// concrete kinds is a conflict.
+fn infer_kinds(program: &Program) -> (BTreeMap<String, RelationInfo>, Vec<Diagnostic>) {
+    struct Table {
+        nodes: BTreeMap<(String, usize), usize>,
+        parent: Vec<usize>,
+        evidence: Vec<Vec<(TypeKind, Span, &'static str)>>,
+    }
+    impl Table {
+        fn node(&mut self, rel: &str, pos: usize) -> usize {
+            if let Some(&i) = self.nodes.get(&(rel.to_string(), pos)) {
+                return i;
+            }
+            let i = self.parent.len();
+            self.parent.push(i);
+            self.evidence.push(Vec::new());
+            self.nodes.insert((rel.to_string(), pos), i);
+            i
+        }
+        fn find(&self, mut i: usize) -> usize {
+            while self.parent[i] != i {
+                i = self.parent[i];
+            }
+            i
+        }
+        fn union(&mut self, a: usize, b: usize) {
+            let (ra, rb) = (self.find(a), self.find(b));
+            if ra != rb {
+                let ev = std::mem::take(&mut self.evidence[rb]);
+                self.parent[rb] = ra;
+                self.evidence[ra].extend(ev);
+            }
+        }
+        fn add(&mut self, i: usize, k: TypeKind, span: Span, why: &'static str) {
+            let r = self.find(i);
+            self.evidence[r].push((k, span, why));
+        }
+    }
+
+    let mut t = Table {
+        nodes: BTreeMap::new(),
+        parent: Vec::new(),
+        evidence: Vec::new(),
+    };
+    let mut arities: BTreeMap<String, usize> = BTreeMap::new();
+
+    // Variables appearing inside arithmetic must be integers.
+    fn arith_vars<'a>(e: &'a Expr, in_arith: bool, out: &mut Vec<(&'a str, Span)>) {
+        match &e.kind {
+            ExprKind::Var(v) => {
+                if in_arith {
+                    out.push((v, e.span));
+                }
+            }
+            ExprKind::Const(_) => {}
+            ExprKind::BinOp(_, l, r) => {
+                arith_vars(l, true, out);
+                arith_vars(r, true, out);
+            }
+            // Function signatures are unknown; arguments are unconstrained.
+            ExprKind::Call(_, args) => {
+                for a in args {
+                    arith_vars(a, false, out);
+                }
+            }
+        }
+    }
+
+    for rule in &program.rules {
+        // Pass 1: atoms — create nodes, unify on shared variables, collect
+        // constant and location-specifier evidence.
+        let mut var_node: BTreeMap<&str, usize> = BTreeMap::new();
+        for atom in std::iter::once(&rule.head).chain(body_atoms(rule)) {
+            let a = arities.entry(atom.rel.clone()).or_insert(0);
+            *a = (*a).max(atom.arity());
+            for (pos, term) in atom.args.iter().enumerate() {
+                let n = t.node(&atom.rel, pos);
+                if pos == 0 {
+                    t.add(n, TypeKind::Addr, term.span, "location specifier");
+                }
+                match &term.kind {
+                    crate::ast::TermKind::Var(v) => match var_node.get(v.as_str()) {
+                        Some(&m) => t.union(m, n),
+                        None => {
+                            var_node.insert(v, n);
+                        }
+                    },
+                    crate::ast::TermKind::Const(c) => {
+                        t.add(n, kind_of(c), term.span, "constant");
+                    }
+                }
+            }
+        }
+        // Pass 2: constraints and assignments.
+        for item in &rule.body {
+            match item {
+                BodyItem::Atom(_) => {}
+                BodyItem::Constraint { left, right, .. } => {
+                    let mut av = Vec::new();
+                    arith_vars(left, false, &mut av);
+                    arith_vars(right, false, &mut av);
+                    for (v, span) in av {
+                        if let Some(&n) = var_node.get(v) {
+                            t.add(n, TypeKind::Int, span, "arithmetic operand");
+                        }
+                    }
+                    match (&left.kind, &right.kind) {
+                        (ExprKind::Var(a), ExprKind::Var(b)) => {
+                            if let (Some(&na), Some(&nb)) =
+                                (var_node.get(a.as_str()), var_node.get(b.as_str()))
+                            {
+                                t.union(na, nb);
+                            }
+                        }
+                        (ExprKind::Var(v), ExprKind::Const(c)) => {
+                            if let Some(&n) = var_node.get(v.as_str()) {
+                                t.add(n, kind_of(c), right.span, "compared with this constant");
+                            }
+                        }
+                        (ExprKind::Const(c), ExprKind::Var(v)) => {
+                            if let Some(&n) = var_node.get(v.as_str()) {
+                                t.add(n, kind_of(c), left.span, "compared with this constant");
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                BodyItem::Assign {
+                    var,
+                    var_span: vspan,
+                    expr,
+                } => {
+                    let mut av = Vec::new();
+                    arith_vars(expr, false, &mut av);
+                    for (v, span) in av {
+                        if let Some(&n) = var_node.get(v) {
+                            t.add(n, TypeKind::Int, span, "arithmetic operand");
+                        }
+                    }
+                    if let Some(&n) = var_node.get(var.as_str()) {
+                        match &expr.kind {
+                            ExprKind::Var(v) => {
+                                if let Some(&m) = var_node.get(v.as_str()) {
+                                    t.union(n, m);
+                                }
+                            }
+                            ExprKind::Const(c) => {
+                                t.add(n, kind_of(c), expr.span, "assigned this constant");
+                            }
+                            ExprKind::BinOp(..) => {
+                                t.add(n, TypeKind::Int, *vspan, "assigned an arithmetic result");
+                            }
+                            ExprKind::Call(..) => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Resolve classes: distinct kinds per root, in evidence order.
+    let mut class_kinds: BTreeMap<usize, Vec<(TypeKind, Span, &'static str)>> = BTreeMap::new();
+    for &node in t.nodes.values() {
+        let root = t.find(node);
+        class_kinds.entry(root).or_insert_with(|| {
+            let mut distinct: Vec<(TypeKind, Span, &'static str)> = Vec::new();
+            for &(k, span, why) in &t.evidence[root] {
+                if !distinct.iter().any(|&(dk, _, _)| dk == k) {
+                    distinct.push((k, span, why));
+                }
+            }
+            distinct
+        });
+    }
+
+    let mut diags = Vec::new();
+    for (&root, kinds) in &class_kinds {
+        if kinds.len() >= 2 {
+            let (rel, pos) = t
+                .nodes
+                .iter()
+                .filter(|&(_, &i)| t.find(i) == root)
+                .map(|(k, _)| k.clone())
+                .min()
+                .expect("class has members");
+            let (k0, s0, w0) = kinds[0];
+            let (k1, s1, w1) = kinds[1];
+            diags.push(
+                Diagnostic::new(
+                    Code::W0208,
+                    format!(
+                        "attribute {pos} of relation `{rel}` is used with conflicting value kinds: {k0} vs {k1}"
+                    ),
+                    Label::new(s1, format!("implies {k1} ({w1})")),
+                )
+                .with_secondary(s0, format!("implies {k0} ({w0})")),
+            );
+        }
+    }
+
+    let relations = arities
+        .iter()
+        .map(|(rel, &arity)| {
+            let kinds = (0..arity)
+                .map(|pos| {
+                    t.nodes
+                        .get(&(rel.clone(), pos))
+                        .map(|&i| match class_kinds.get(&t.find(i)).map(Vec::as_slice) {
+                            Some([]) | None => TypeKind::Unknown,
+                            Some([(k, _, _)]) => *k,
+                            Some(_) => TypeKind::Conflict,
+                        })
+                        .unwrap_or(TypeKind::Unknown)
+                })
+                .collect();
+            (rel.clone(), RelationInfo { arity, kinds })
+        })
+        .collect();
+
+    (relations, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use crate::parser::parse_program;
+    use crate::programs;
+
+    fn run(src: &str) -> Analysis {
+        analyze(&parse_program(src).unwrap(), Mode::Strict)
+    }
+
+    fn codes(a: &Analysis) -> Vec<Code> {
+        a.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn bundled_programs_are_clean() {
+        for (name, src) in [
+            ("forwarding", programs::PACKET_FORWARDING),
+            ("dns", programs::DNS_RESOLUTION),
+            ("dhcp", programs::DHCP),
+            ("arp", programs::ARP),
+        ] {
+            let a = run(src);
+            assert!(
+                a.diagnostics.is_empty(),
+                "{name} should be clean, got {:#?}",
+                a.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_variable_is_flagged() {
+        let a = run("r1 out(@X, Y) :- e(@X, Y), s(@X, Z).");
+        assert_eq!(codes(&a), vec![Code::W0201]);
+        let d = &a.diagnostics[0];
+        assert!(d.message.contains("never used"), "{}", d.message);
+        assert!(d.message.contains("`Z`"), "{}", d.message);
+        // Z sits at column 34 of the source line.
+        assert_eq!(
+            (d.primary.span.line, d.primary.span.col),
+            (1, 34),
+            "{:?}",
+            d.primary.span
+        );
+    }
+
+    #[test]
+    fn join_variables_are_not_singletons() {
+        let a = run("r1 out(@X, Z) :- e(@X, Z), s(@X, Z).");
+        assert!(a.by_code(Code::W0201).next().is_none(), "{:?}", codes(&a));
+    }
+
+    #[test]
+    fn unbound_constraint_variable_is_flagged() {
+        let a = run("r1 out(@X, Y) :- e(@X, Y), Y == W.");
+        let d = a.by_code(Code::W0202).next().expect("W0202");
+        assert!(d.message.contains("`W`"), "{}", d.message);
+        assert_eq!((d.primary.span.line, d.primary.span.col), (1, 33));
+    }
+
+    #[test]
+    fn assignment_binds_for_later_expressions() {
+        let a = run("r1 out(@X, Y) :- e(@X, Y), W := Y + 1, W > 0.");
+        assert!(a.by_code(Code::W0202).next().is_none(), "{:?}", codes(&a));
+    }
+
+    #[test]
+    fn unbound_assignment_rhs_is_flagged() {
+        let a = run("r1 out(@X, Y) :- e(@X, Z), Y := Q + 1.");
+        let d = a.by_code(Code::W0202).next().expect("W0202");
+        assert!(d.message.contains("`Q`"), "{}", d.message);
+    }
+
+    #[test]
+    fn constant_head_location_is_flagged() {
+        let a = run("r1 out(@5, Y) :- e(@X, Y), s(@X, X).");
+        let d = a.by_code(Code::W0203).next().expect("W0203");
+        assert_eq!((d.primary.span.line, d.primary.span.col), (1, 9));
+    }
+
+    #[test]
+    fn non_local_condition_atom_is_flagged() {
+        let a = run("r1 out(@X, A, D) :- e(@X, A, D), s(@A, A).");
+        let d = a.by_code(Code::W0204).next().expect("W0204");
+        assert!(d.message.contains("`s`"), "{}", d.message);
+        assert!(d.message.contains("`X`"), "{}", d.message);
+        // The offending specifier is the `A` of `s(@A, ...)`.
+        assert_eq!((d.primary.span.line, d.primary.span.col), (1, 37));
+        assert!(!d.secondary.is_empty());
+    }
+
+    #[test]
+    fn dead_rule_is_flagged_in_relaxed_mode() {
+        let src = r#"
+            r1 out(@X, Y) :- e(@X, Y), s(@X, Y).
+            r2 out2(@X, Y) :- f(@X, Y), s(@X, Y).
+        "#;
+        let a = analyze(&parse_program(src).unwrap(), Mode::Relaxed);
+        assert!(!a.has_errors(), "{:?}", codes(&a));
+        let d = a.by_code(Code::W0205).next().expect("W0205");
+        assert!(d.message.contains("`r2`"), "{}", d.message);
+        assert!(d.message.contains("`f`"), "{}", d.message);
+    }
+
+    #[test]
+    fn shadowed_assignment_is_flagged() {
+        let a = run("r1 out(@X, Y) :- e(@X, Y), Y := Y + 1.");
+        let d = a.by_code(Code::W0206).next().expect("W0206");
+        assert!(d.message.contains("`Y`"), "{}", d.message);
+        assert_eq!((d.primary.span.line, d.primary.span.col), (1, 28));
+        assert!(!d.secondary.is_empty());
+    }
+
+    #[test]
+    fn assignment_then_join_is_not_shadowing() {
+        let a = run("r1 out(@X, Y) :- e(@X), Y := 7, s(@X, Y).");
+        assert!(a.by_code(Code::W0206).next().is_none(), "{:?}", codes(&a));
+    }
+
+    #[test]
+    fn full_key_coverage_is_flagged() {
+        let a = run("r1 recvd(@L, D) :- pkt(@L, D), route(@L, D).");
+        let d = a.by_code(Code::W0207).next().expect("W0207");
+        assert!(d.message.contains("`pkt`"), "{}", d.message);
+        assert!(d.message.contains("all 2 attributes"), "{}", d.message);
+    }
+
+    #[test]
+    fn partial_key_coverage_is_not_flagged() {
+        let a = run(programs::PACKET_FORWARDING);
+        assert!(a.by_code(Code::W0207).next().is_none());
+    }
+
+    #[test]
+    fn conflicting_kinds_are_flagged() {
+        let a = run(r#"r1 out(@X, Y) :- e(@X, Y), s(@X, Y), Y > 5, Y == "a"."#);
+        let d = a.by_code(Code::W0208).next().expect("W0208");
+        assert!(
+            d.message.contains("conflicting value kinds"),
+            "{}",
+            d.message
+        );
+        assert!(!d.secondary.is_empty());
+    }
+
+    #[test]
+    fn relation_kinds_are_inferred() {
+        let a = run("r1 out(@X, Y) :- e(@X, Y), s(@X, Y), Y > 5.");
+        let e = &a.relations["e"];
+        assert_eq!(e.arity, 2);
+        assert_eq!(e.kinds, vec![TypeKind::Addr, TypeKind::Int]);
+        // The joined slow relation shares both classes.
+        assert_eq!(a.relations["s"].kinds, vec![TypeKind::Addr, TypeKind::Int]);
+    }
+
+    #[test]
+    fn strict_only_codes_downgrade_in_relaxed_mode() {
+        let src = r#"
+            r1 a(@X, Y) :- e(@X, Y), s(@X, Y).
+            r2 b(@X, Y) :- c(@X, Y), s(@X, Y).
+        "#;
+        let p = parse_program(src).unwrap();
+        let strict = analyze_structure(&p, Mode::Strict);
+        let e = strict
+            .iter()
+            .find(|d| d.code == Code::E0104)
+            .expect("E0104");
+        assert_eq!(e.severity, Severity::Error);
+        let relaxed = analyze_structure(&p, Mode::Relaxed);
+        let w = relaxed
+            .iter()
+            .find(|d| d.code == Code::E0104)
+            .expect("E0104");
+        assert_eq!(w.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn duplicate_labels_are_flagged_on_built_programs() {
+        // The parser rejects duplicate labels in source text; build the
+        // program directly to exercise E0111.
+        let mut p = parse_program("r1 out(@X, Y) :- e(@X, Y), s(@X, Y).").unwrap();
+        let mut copy = p.rules[0].clone();
+        copy.head.rel = "out2".into();
+        p.rules.push(copy);
+        let diags = analyze_structure(&p, Mode::Strict);
+        assert!(diags.iter().any(|d| d.code == Code::E0111), "{diags:#?}");
+    }
+
+    #[test]
+    fn structural_errors_suppress_advisory_passes() {
+        // Unbound head variable: the program is not a DELP, so the
+        // advisory passes (which need a classification) must not run.
+        let a = run("r1 out(@X, Z) :- e(@X, Y).");
+        assert!(a.has_errors());
+        assert!(a.by_code(Code::W0201).next().is_none());
+    }
+}

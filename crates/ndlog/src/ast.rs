@@ -5,14 +5,32 @@
 //! names; user-defined functions carry an `f_` prefix (e.g.
 //! `f_isSubDomain`). The first argument of every atom is the location
 //! specifier, written `@L` in surface syntax.
+//!
+//! Every node carries a [`Span`] pointing back at the source text it was
+//! parsed from (or [`Span::DUMMY`] when synthesized, e.g. by
+//! [`crate::rewrite`]). Spans are **ignored** by `PartialEq`, `Eq` and
+//! `Hash` so that structurally identical programs compare equal regardless
+//! of formatting — the round-trip property `parse(display(p)) == p` holds.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use dpc_common::Value;
 
+use crate::span::Span;
+
 /// A term inside a relational atom: either a variable or a constant.
+#[derive(Debug, Clone)]
+pub struct Term {
+    /// What the term is.
+    pub kind: TermKind,
+    /// Source span (ignored by equality/hashing).
+    pub span: Span,
+}
+
+/// The payload of a [`Term`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum Term {
+pub enum TermKind {
     /// A variable, e.g. `L`, `DT`.
     Var(String),
     /// A constant value.
@@ -20,34 +38,82 @@ pub enum Term {
 }
 
 impl Term {
+    /// A term with an explicit source span.
+    pub fn new(kind: TermKind, span: Span) -> Self {
+        Term { kind, span }
+    }
+
+    /// A synthesized variable term (dummy span).
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::new(TermKind::Var(name.into()), Span::DUMMY)
+    }
+
+    /// A synthesized constant term (dummy span).
+    pub fn cnst(value: Value) -> Self {
+        Term::new(TermKind::Const(value), Span::DUMMY)
+    }
+
     /// The variable name, if this term is a variable.
     pub fn as_var(&self) -> Option<&str> {
-        match self {
-            Term::Var(v) => Some(v),
-            Term::Const(_) => None,
+        match &self.kind {
+            TermKind::Var(v) => Some(v),
+            TermKind::Const(_) => None,
         }
+    }
+
+    /// The constant value, if this term is a constant.
+    pub fn as_const(&self) -> Option<&Value> {
+        match &self.kind {
+            TermKind::Var(_) => None,
+            TermKind::Const(c) => Some(c),
+        }
+    }
+}
+
+impl PartialEq for Term {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl Eq for Term {}
+
+impl Hash for Term {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.kind.hash(state);
     }
 }
 
 impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Term::Var(v) => f.write_str(v),
-            Term::Const(c) => write!(f, "{c}"),
+        match &self.kind {
+            TermKind::Var(v) => f.write_str(v),
+            TermKind::Const(c) => write!(f, "{c}"),
         }
     }
 }
 
 /// A relational atom, e.g. `packet(@L, S, D, DT)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct Atom {
     /// Relation name.
     pub rel: String,
     /// Arguments; index 0 is the location specifier.
     pub args: Vec<Term>,
+    /// Source span of the whole atom (ignored by equality/hashing).
+    pub span: Span,
 }
 
 impl Atom {
+    /// A synthesized atom (dummy span).
+    pub fn new(rel: impl Into<String>, args: Vec<Term>) -> Self {
+        Atom {
+            rel: rel.into(),
+            args,
+            span: Span::DUMMY,
+        }
+    }
+
     /// Arity of the atom.
     pub fn arity(&self) -> usize {
         self.args.len()
@@ -67,13 +133,28 @@ impl Atom {
     pub fn vars(&self) -> Vec<&str> {
         let mut seen = Vec::new();
         for t in &self.args {
-            if let Term::Var(v) = t {
+            if let TermKind::Var(v) = &t.kind {
                 if !seen.contains(&v.as_str()) {
                     seen.push(v.as_str());
                 }
             }
         }
         seen
+    }
+}
+
+impl PartialEq for Atom {
+    fn eq(&self, other: &Self) -> bool {
+        self.rel == other.rel && self.args == other.args
+    }
+}
+
+impl Eq for Atom {}
+
+impl Hash for Atom {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rel.hash(state);
+        self.args.hash(state);
     }
 }
 
@@ -149,8 +230,17 @@ impl fmt::Display for CmpOp {
 }
 
 /// An expression: the operand language of constraints and assignments.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// What the expression is.
+    pub kind: ExprKind,
+    /// Source span (ignored by equality/hashing).
+    pub span: Span,
+}
+
+/// The payload of an [`Expr`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum Expr {
+pub enum ExprKind {
     /// A variable reference.
     Var(String),
     /// A literal constant.
@@ -162,21 +252,47 @@ pub enum Expr {
 }
 
 impl Expr {
+    /// An expression with an explicit source span.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// A synthesized variable reference (dummy span).
+    pub fn var(name: impl Into<String>) -> Self {
+        Expr::new(ExprKind::Var(name.into()), Span::DUMMY)
+    }
+
+    /// A synthesized constant (dummy span).
+    pub fn cnst(value: Value) -> Self {
+        Expr::new(ExprKind::Const(value), Span::DUMMY)
+    }
+
+    /// A binary operation whose span covers both operands.
+    pub fn binop(op: BinOp, left: Expr, right: Expr) -> Self {
+        let span = left.span.join(right.span);
+        Expr::new(ExprKind::BinOp(op, Box::new(left), Box::new(right)), span)
+    }
+
+    /// A synthesized function call (dummy span).
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Self {
+        Expr::new(ExprKind::Call(name.into(), args), Span::DUMMY)
+    }
+
     /// All distinct variable names referenced by the expression.
     pub fn vars(&self) -> Vec<&str> {
         fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a str>) {
-            match e {
-                Expr::Var(v) => {
+            match &e.kind {
+                ExprKind::Var(v) => {
                     if !out.contains(&v.as_str()) {
                         out.push(v);
                     }
                 }
-                Expr::Const(_) => {}
-                Expr::BinOp(_, l, r) => {
+                ExprKind::Const(_) => {}
+                ExprKind::BinOp(_, l, r) => {
                     walk(l, out);
                     walk(r, out);
                 }
-                Expr::Call(_, args) => {
+                ExprKind::Call(_, args) => {
                     for a in args {
                         walk(a, out);
                     }
@@ -189,13 +305,27 @@ impl Expr {
     }
 }
 
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl Eq for Expr {}
+
+impl Hash for Expr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.kind.hash(state);
+    }
+}
+
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Expr::Var(v) => f.write_str(v),
-            Expr::Const(c) => write!(f, "{c}"),
-            Expr::BinOp(op, l, r) => write!(f, "({l} {op} {r})"),
-            Expr::Call(name, args) => {
+        match &self.kind {
+            ExprKind::Var(v) => f.write_str(v),
+            ExprKind::Const(c) => write!(f, "{c}"),
+            ExprKind::BinOp(op, l, r) => write!(f, "({l} {op} {r})"),
+            ExprKind::Call(name, args) => {
                 write!(f, "{name}(")?;
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {
@@ -210,7 +340,7 @@ impl fmt::Display for Expr {
 }
 
 /// One item in a rule body.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub enum BodyItem {
     /// A relational atom. The *first* relational atom in a rule body is the
     /// rule's designated event; the rest are slow-changing condition atoms.
@@ -224,28 +354,122 @@ pub enum BodyItem {
         op: CmpOp,
         /// Right operand.
         right: Expr,
+        /// Source span of the whole constraint (ignored by equality).
+        span: Span,
     },
     /// An assignment, e.g. `N := L + 2`.
     Assign {
         /// Variable bound by the assignment.
         var: String,
+        /// Source span of the assigned variable (ignored by equality).
+        var_span: Span,
         /// Value expression.
         expr: Expr,
     },
+}
+
+impl BodyItem {
+    /// A constraint whose span covers both operands.
+    pub fn constraint(left: Expr, op: CmpOp, right: Expr) -> Self {
+        let span = left.span.join(right.span);
+        BodyItem::Constraint {
+            left,
+            op,
+            right,
+            span,
+        }
+    }
+
+    /// A synthesized assignment (dummy variable span).
+    pub fn assign(var: impl Into<String>, expr: Expr) -> Self {
+        BodyItem::Assign {
+            var: var.into(),
+            var_span: Span::DUMMY,
+            expr,
+        }
+    }
+
+    /// The source span of the whole body item.
+    pub fn span(&self) -> Span {
+        match self {
+            BodyItem::Atom(a) => a.span,
+            BodyItem::Constraint { span, .. } => *span,
+            BodyItem::Assign { var_span, expr, .. } => var_span.join(expr.span),
+        }
+    }
+}
+
+impl PartialEq for BodyItem {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (BodyItem::Atom(a), BodyItem::Atom(b)) => a == b,
+            (
+                BodyItem::Constraint {
+                    left: l1,
+                    op: o1,
+                    right: r1,
+                    ..
+                },
+                BodyItem::Constraint {
+                    left: l2,
+                    op: o2,
+                    right: r2,
+                    ..
+                },
+            ) => l1 == l2 && o1 == o2 && r1 == r2,
+            (
+                BodyItem::Assign {
+                    var: v1, expr: e1, ..
+                },
+                BodyItem::Assign {
+                    var: v2, expr: e2, ..
+                },
+            ) => v1 == v2 && e1 == e2,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for BodyItem {}
+
+impl Hash for BodyItem {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            BodyItem::Atom(a) => {
+                0u8.hash(state);
+                a.hash(state);
+            }
+            BodyItem::Constraint {
+                left, op, right, ..
+            } => {
+                1u8.hash(state);
+                left.hash(state);
+                op.hash(state);
+                right.hash(state);
+            }
+            BodyItem::Assign { var, expr, .. } => {
+                2u8.hash(state);
+                var.hash(state);
+                expr.hash(state);
+            }
+        }
+    }
 }
 
 impl fmt::Display for BodyItem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BodyItem::Atom(a) => write!(f, "{a}"),
-            BodyItem::Constraint { left, op, right } => write!(f, "{left} {op} {right}"),
-            BodyItem::Assign { var, expr } => write!(f, "{var} := {expr}"),
+            BodyItem::Constraint {
+                left, op, right, ..
+            } => write!(f, "{left} {op} {right}"),
+            BodyItem::Assign { var, expr, .. } => write!(f, "{var} := {expr}"),
         }
     }
 }
 
 /// A rule: `label head :- body1, body2, ..., bodyN.`
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct Rule {
     /// The rule label, e.g. `r1`. Labels identify rules in provenance
     /// (`ruleExec.R` column) and must be unique within a program.
@@ -254,9 +478,25 @@ pub struct Rule {
     pub head: Atom,
     /// Body items, in source order.
     pub body: Vec<BodyItem>,
+    /// Source span of the whole rule, label through final `.` (ignored by
+    /// equality/hashing).
+    pub span: Span,
+    /// Source span of the rule label (ignored by equality/hashing).
+    pub label_span: Span,
 }
 
 impl Rule {
+    /// A synthesized rule (dummy spans).
+    pub fn new(label: impl Into<String>, head: Atom, body: Vec<BodyItem>) -> Self {
+        Rule {
+            label: label.into(),
+            head,
+            body,
+            span: Span::DUMMY,
+            label_span: Span::DUMMY,
+        }
+    }
+
     /// The designated event atom: the first relational atom in the body.
     ///
     /// DELP validation guarantees its presence; on raw programs it may be
@@ -282,7 +522,9 @@ impl Rule {
     /// Constraints (arithmetic atoms) in the body.
     pub fn constraints(&self) -> impl Iterator<Item = (&Expr, CmpOp, &Expr)> {
         self.body.iter().filter_map(|b| match b {
-            BodyItem::Constraint { left, op, right } => Some((left, *op, right)),
+            BodyItem::Constraint {
+                left, op, right, ..
+            } => Some((left, *op, right)),
             _ => None,
         })
     }
@@ -290,9 +532,25 @@ impl Rule {
     /// Assignments in the body.
     pub fn assignments(&self) -> impl Iterator<Item = (&str, &Expr)> {
         self.body.iter().filter_map(|b| match b {
-            BodyItem::Assign { var, expr } => Some((var.as_str(), expr)),
+            BodyItem::Assign { var, expr, .. } => Some((var.as_str(), expr)),
             _ => None,
         })
+    }
+}
+
+impl PartialEq for Rule {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label && self.head == other.head && self.body == other.body
+    }
+}
+
+impl Eq for Rule {}
+
+impl Hash for Rule {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.label.hash(state);
+        self.head.hash(state);
+        self.body.hash(state);
     }
 }
 
@@ -337,27 +595,20 @@ mod tests {
     use super::*;
 
     fn atom(rel: &str, vars: &[&str]) -> Atom {
-        Atom {
-            rel: rel.into(),
-            args: vars.iter().map(|v| Term::Var(v.to_string())).collect(),
-        }
+        Atom::new(rel, vars.iter().map(|v| Term::var(*v)).collect())
     }
 
     #[test]
     fn event_is_first_relational_atom() {
-        let r = Rule {
-            label: "r2".into(),
-            head: atom("recv", &["L", "S", "D", "DT"]),
-            body: vec![
-                BodyItem::Constraint {
-                    left: Expr::Var("D".into()),
-                    op: CmpOp::Eq,
-                    right: Expr::Var("L".into()),
-                },
+        let r = Rule::new(
+            "r2",
+            atom("recv", &["L", "S", "D", "DT"]),
+            vec![
+                BodyItem::constraint(Expr::var("D"), CmpOp::Eq, Expr::var("L")),
                 BodyItem::Atom(atom("packet", &["L", "S", "D", "DT"])),
                 BodyItem::Atom(atom("route", &["L", "D", "N"])),
             ],
-        };
+        );
         assert_eq!(r.event().unwrap().rel, "packet");
         let conds: Vec<_> = r.condition_atoms().map(|a| a.rel.clone()).collect();
         assert_eq!(conds, vec!["route"]);
@@ -373,30 +624,43 @@ mod tests {
 
     #[test]
     fn expr_vars_dedup() {
-        let e = Expr::BinOp(
+        let e = Expr::binop(
             BinOp::Add,
-            Box::new(Expr::Var("X".into())),
-            Box::new(Expr::Call(
-                "f_g".into(),
-                vec![Expr::Var("X".into()), Expr::Var("Y".into())],
-            )),
+            Expr::var("X"),
+            Expr::call("f_g", vec![Expr::var("X"), Expr::var("Y")]),
         );
         assert_eq!(e.vars(), vec!["X", "Y"]);
     }
 
     #[test]
     fn display_rule_round_trip_shape() {
-        let r = Rule {
-            label: "r1".into(),
-            head: atom("packet", &["N", "S", "D", "DT"]),
-            body: vec![
+        let r = Rule::new(
+            "r1",
+            atom("packet", &["N", "S", "D", "DT"]),
+            vec![
                 BodyItem::Atom(atom("packet", &["L", "S", "D", "DT"])),
                 BodyItem::Atom(atom("route", &["L", "D", "N"])),
             ],
-        };
+        );
         assert_eq!(
             r.to_string(),
             "r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N)."
         );
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_spans() {
+        use std::collections::hash_map::DefaultHasher;
+
+        let mut a = Term::var("X");
+        let b = Term::new(TermKind::Var("X".into()), Span::new(3, 4, 1, 4));
+        a.span = Span::new(9, 10, 2, 1);
+        assert_eq!(a, b);
+        let hash = |t: &Term| {
+            let mut h = DefaultHasher::new();
+            t.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
     }
 }

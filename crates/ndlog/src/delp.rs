@@ -8,12 +8,20 @@
 //! We follow the paper's convention that the event atom of a rule is the
 //! *first* relational atom in its body (`[head] :- [event], [conditions]`);
 //! every other relational atom is a slow-changing condition atom.
+//!
+//! Validation itself lives in [`crate::analyze::analyze_structure`]; this
+//! module turns its findings into the legacy [`Error::InvalidDelp`] result
+//! and, for [`Delp::new_relaxed`], records the Definition 1 violations the
+//! relaxed rule set tolerates as [`Diagnostic`] warnings instead of
+//! silently dropping them.
 
 use std::collections::BTreeSet;
 
 use dpc_common::{Error, Result};
 
+use crate::analyze::{analyze_structure, Mode};
 use crate::ast::{Program, Rule};
+use crate::diag::Diagnostic;
 
 /// A validated DELP with its relation classification.
 #[derive(Debug, Clone)]
@@ -23,152 +31,54 @@ pub struct Delp {
     slow_rels: BTreeSet<String>,
     output_rels: BTreeSet<String>,
     event_rels: BTreeSet<String>,
+    strict: bool,
+    warnings: Vec<Diagnostic>,
 }
 
 impl Delp {
     /// Validate `program` against Definition 1 and classify its relations.
     pub fn new(program: Program) -> Result<Delp> {
-        Self::build(program, true)
+        Self::build(program, Mode::Strict)
     }
 
     /// Validate under a relaxed rule set for *derived* programs (e.g. the
     /// output of the provenance rewrite, `crate::rewrite`): every rule
     /// must still lead with its event atom, bind its head variables and
     /// use relations with consistent arities, but one event may trigger
-    /// several rules and heads need not chain consecutively.
+    /// several rules and heads need not chain consecutively. The
+    /// Definition 1 conditions this tolerates are recorded as warnings —
+    /// see [`Delp::validation_warnings`].
     pub fn new_relaxed(program: Program) -> Result<Delp> {
-        Self::build(program, false)
+        Self::build(program, Mode::Relaxed)
     }
 
-    fn build(program: Program, strict: bool) -> Result<Delp> {
-        if program.rules.is_empty() {
-            return Err(Error::InvalidDelp("program has no rules".into()));
+    fn build(program: Program, mode: Mode) -> Result<Delp> {
+        let diagnostics = analyze_structure(&program, mode);
+        if let Some(err) = diagnostics.iter().find(|d| d.is_error()) {
+            return Err(Error::InvalidDelp(err.message.clone()));
         }
+        let mut delp = Delp::from_parts(program, matches!(mode, Mode::Strict));
+        delp.warnings = diagnostics;
+        Ok(delp)
+    }
 
-        // Condition 1: every rule is event-driven — the paper's form is
-        // `[head] :- [event], [conditions]`, so the *first* body item must
-        // be the event atom (evaluation then always binds the event's
-        // variables before any constraint or assignment runs).
-        for r in &program.rules {
-            if r.event().is_none() {
-                return Err(Error::InvalidDelp(format!(
-                    "rule `{}` has no event atom in its body",
-                    r.label
-                )));
-            }
-            if !matches!(r.body.first(), Some(crate::ast::BodyItem::Atom(_))) {
-                return Err(Error::InvalidDelp(format!(
-                    "rule `{}` must lead with its event atom ([head] :- [event], [conditions])",
-                    r.label
-                )));
-            }
-        }
-
-        // Condition 2: consecutive rules are dependent, and the head's
-        // arity matches the next event's (a head tuple becomes the next
-        // rule's event tuple). Relaxed programs may branch instead.
-        if strict {
-            for pair in program.rules.windows(2) {
-                let (ri, rj) = (&pair[0], &pair[1]);
-                let ev = rj.event().expect("checked above");
-                if ri.head.rel != ev.rel {
-                    return Err(Error::InvalidDelp(format!(
-                        "head of `{}` is `{}` but event of `{}` is `{}` — consecutive rules must be dependent",
-                        ri.label, ri.head.rel, rj.label, ev.rel
-                    )));
-                }
-                if ri.head.arity() != ev.arity() {
-                    return Err(Error::InvalidDelp(format!(
-                        "head `{}` of rule `{}` has arity {} but event of `{}` has arity {}",
-                        ri.head.rel,
-                        ri.label,
-                        ri.head.arity(),
-                        rj.label,
-                        ev.arity()
-                    )));
-                }
-            }
-        }
-
-        // Every use of a relation must agree on its arity — an NDlog
-        // program where `route` is ternary in one rule and binary in
-        // another can never join as intended.
-        {
-            let mut arities: std::collections::BTreeMap<&str, (usize, &str)> = Default::default();
-            for r in &program.rules {
-                let atoms = std::iter::once(&r.head).chain(r.body.iter().filter_map(|b| match b {
-                    crate::ast::BodyItem::Atom(a) => Some(a),
-                    _ => None,
-                }));
-                for atom in atoms {
-                    match arities.get(atom.rel.as_str()) {
-                        Some(&(n, first_rule)) if n != atom.arity() => {
-                            return Err(Error::InvalidDelp(format!(
-                                "relation `{}` used with arity {} in rule `{}` but arity {n} in rule `{first_rule}`",
-                                atom.rel,
-                                atom.arity(),
-                                r.label,
-                            )));
-                        }
-                        Some(_) => {}
-                        None => {
-                            arities.insert(&atom.rel, (atom.arity(), &r.label));
-                        }
-                    }
-                }
-            }
-        }
-
+    /// Classify the relations of a structurally validated program.
+    ///
+    /// Callers must have run [`analyze_structure`] first and found no
+    /// errors; this constructor assumes every rule has an event atom.
+    pub(crate) fn from_parts(program: Program, strict: bool) -> Delp {
         let head_rels: BTreeSet<String> =
             program.rules.iter().map(|r| r.head.rel.clone()).collect();
-
-        // Condition 3: head relations only appear as event relations in
-        // bodies.
-        if strict {
-            for r in &program.rules {
-                for cond in r.condition_atoms() {
-                    if head_rels.contains(&cond.rel) {
-                        return Err(Error::InvalidDelp(format!(
-                            "head relation `{}` appears as a non-event atom in rule `{}`",
-                            cond.rel, r.label
-                        )));
-                    }
-                }
-            }
-        }
-
-        // Safety: every head variable must be bound by the body (event,
-        // condition atoms, or an assignment).
-        for r in &program.rules {
-            let mut bound: BTreeSet<&str> = BTreeSet::new();
-            for atom in std::iter::once(r.event().expect("checked")).chain(r.condition_atoms()) {
-                bound.extend(atom.vars());
-            }
-            for (var, _) in r.assignments() {
-                bound.insert(var);
-            }
-            for v in r.head.vars() {
-                if !bound.contains(v) {
-                    return Err(Error::InvalidDelp(format!(
-                        "head variable `{v}` of rule `{}` is not bound by the body",
-                        r.label
-                    )));
-                }
-            }
-        }
-
         let event_rels: BTreeSet<String> = program
             .rules
             .iter()
-            .map(|r| r.event().expect("checked").rel.clone())
+            .map(|r| r.event().expect("structurally valid").rel.clone())
             .collect();
-
         let slow_rels: BTreeSet<String> = program
             .rules
             .iter()
             .flat_map(|r| r.condition_atoms().map(|a| a.rel.clone()))
             .collect();
-
         // Output relations: heads that are not consumed as events by any
         // rule. For a linear chain this is the head of the last rule; a
         // recursive rule (e.g. DNS `request -> request`) keeps intermediate
@@ -178,30 +88,20 @@ impl Delp {
             .filter(|h| !event_rels.contains(*h))
             .cloned()
             .collect();
-        if output_rels.is_empty() {
-            return Err(Error::InvalidDelp(
-                "program has no output relation: every head is consumed as an event".into(),
-            ));
-        }
-
-        // The input event: the event relation of the first rule. It must
-        // not itself be derivable, except through the recursive-relation
-        // idiom where the first rule's head has the same name (packet
-        // forwarding). Slow relations must not double as events.
-        let input_event = program.rules[0].event().expect("checked above").rel.clone();
-        if slow_rels.contains(&input_event) {
-            return Err(Error::InvalidDelp(format!(
-                "input event relation `{input_event}` also appears as a slow-changing atom"
-            )));
-        }
-
-        Ok(Delp {
+        let input_event = program.rules[0]
+            .event()
+            .expect("structurally valid")
+            .rel
+            .clone();
+        Delp {
             program,
             input_event,
             slow_rels,
             output_rels,
             event_rels,
-        })
+            strict,
+            warnings: Vec::new(),
+        }
     }
 
     /// The underlying program.
@@ -256,11 +156,25 @@ impl Delp {
     pub fn input_event_arity(&self) -> usize {
         self.program.rules[0].event().expect("validated").arity()
     }
+
+    /// Was this validated under the strict Definition 1 rule set?
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Warnings recorded during validation. Strict validation produces
+    /// none (anything it finds is an error); relaxed validation records
+    /// the Definition 1 conditions it tolerated (E0104, E0105, E0107 at
+    /// warning severity).
+    pub fn validation_warnings(&self) -> &[Diagnostic] {
+        &self.warnings
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diag::{Code, Severity};
     use crate::parser::parse_program;
 
     fn delp(src: &str) -> Result<Delp> {
@@ -297,6 +211,8 @@ mod tests {
         assert!(!d.is_slow("packet"));
         assert!(d.is_output("recv"));
         assert_eq!(d.input_event_arity(), 4);
+        assert!(d.is_strict());
+        assert!(d.validation_warnings().is_empty());
     }
 
     #[test]
@@ -399,5 +315,36 @@ mod tests {
         "#;
         let err = delp(src).unwrap_err();
         assert!(err.to_string().contains("no output relation"), "{err}");
+    }
+
+    #[test]
+    fn relaxed_surfaces_tolerated_violations_as_warnings() {
+        // Non-dependent consecutive rules: strict validation rejects the
+        // program; relaxed validation accepts it but must *surface* the
+        // violation instead of swallowing it.
+        let src = r#"
+            r1 a(@X, Y) :- e(@X, Y), s(@X, Y).
+            r2 b(@X, Y) :- c(@X, Y), s(@X, Y).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert!(Delp::new(p.clone()).is_err());
+        let d = Delp::new_relaxed(p).unwrap();
+        assert!(!d.is_strict());
+        let warnings = d.validation_warnings();
+        assert!(
+            !warnings.is_empty(),
+            "relaxed validation must keep warnings"
+        );
+        assert!(warnings.iter().all(|w| w.severity == Severity::Warning));
+        assert!(
+            warnings.iter().any(|w| w.code == Code::E0104),
+            "{warnings:#?}"
+        );
+    }
+
+    #[test]
+    fn relaxed_on_strictly_valid_program_has_no_warnings() {
+        let d = Delp::new_relaxed(parse_program(FORWARDING).unwrap()).unwrap();
+        assert!(d.validation_warnings().is_empty());
     }
 }

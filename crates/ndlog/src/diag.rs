@@ -1,0 +1,382 @@
+//! Typed diagnostics with stable codes and rustc-style rendering.
+//!
+//! Every finding of the semantic analyzer ([`crate::analyze`]) is a
+//! [`Diagnostic`]: a stable [`Code`] (`E01xx` errors, `W02xx` warnings), a
+//! severity, a human message, a primary [`Label`] anchoring the finding to
+//! a source [`Span`], and optional secondary labels pointing at related
+//! locations (the first definition a duplicate clashes with, the head a
+//! condition atom shadows, ...).
+//!
+//! [`Diagnostic::render`] produces the familiar compiler excerpt:
+//!
+//! ```text
+//! error[E0108]: head variable `Z` of rule `r1` is not bound by the body
+//!  --> prog.ndlog:1:10
+//!   |
+//! 1 | r1 a(@X, Z) :- e(@X, Y).
+//!   |          ^ not bound by any atom or assignment
+//! ```
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// The program violates a hard requirement and cannot run.
+    Error,
+    /// The program runs but probably does not mean what it says.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+/// Stable diagnostic codes.
+///
+/// `E01xx` codes are DELP-validation errors (Definition 1 plus the safety
+/// and consistency requirements evaluation depends on); `W02xx` codes are
+/// advisory analyses. Codes never change meaning once shipped; new checks
+/// get new codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Code {
+    /// Program has no rules.
+    E0101,
+    /// A rule has no event atom in its body.
+    E0102,
+    /// A rule does not lead with its event atom.
+    E0103,
+    /// Consecutive rules are not dependent (strict DELP only).
+    E0104,
+    /// Head arity differs from the dependent event's arity (strict only).
+    E0105,
+    /// A relation is used with inconsistent arities.
+    E0106,
+    /// A head relation appears as a non-event (condition) atom (strict only).
+    E0107,
+    /// A head variable is not bound by the body (range restriction).
+    E0108,
+    /// The input event relation also appears as a slow-changing atom.
+    E0109,
+    /// No output relation: every head is consumed as an event.
+    E0110,
+    /// Two rules share a label.
+    E0111,
+    /// A variable is bound once and never used (likely a typo).
+    W0201,
+    /// An expression variable is never bound: evaluation will fail.
+    W0202,
+    /// The head location specifier is a constant.
+    W0203,
+    /// A condition atom does not share the event's location variable.
+    W0204,
+    /// A rule's event relation is unreachable from the input event.
+    W0205,
+    /// An assignment shadows a variable that is already bound.
+    W0206,
+    /// Equivalence keys cover every event attribute: zero compression.
+    W0207,
+    /// An attribute is used with conflicting value kinds.
+    W0208,
+}
+
+impl Code {
+    /// The stable textual form, e.g. `"E0108"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::E0101 => "E0101",
+            Code::E0102 => "E0102",
+            Code::E0103 => "E0103",
+            Code::E0104 => "E0104",
+            Code::E0105 => "E0105",
+            Code::E0106 => "E0106",
+            Code::E0107 => "E0107",
+            Code::E0108 => "E0108",
+            Code::E0109 => "E0109",
+            Code::E0110 => "E0110",
+            Code::E0111 => "E0111",
+            Code::W0201 => "W0201",
+            Code::W0202 => "W0202",
+            Code::W0203 => "W0203",
+            Code::W0204 => "W0204",
+            Code::W0205 => "W0205",
+            Code::W0206 => "W0206",
+            Code::W0207 => "W0207",
+            Code::W0208 => "W0208",
+        }
+    }
+
+    /// The severity this code carries by default. Relaxed validation
+    /// downgrades the strict-only codes (E0104, E0105, E0107) to warnings.
+    pub fn default_severity(&self) -> Severity {
+        match self.as_str().as_bytes()[0] {
+            b'E' => Severity::Error,
+            _ => Severity::Warning,
+        }
+    }
+
+    /// One-line summary of what the code means (used by docs and `dpc-lint`).
+    pub fn summary(&self) -> &'static str {
+        match self {
+            Code::E0101 => "program has no rules",
+            Code::E0102 => "rule has no event atom",
+            Code::E0103 => "rule does not lead with its event atom",
+            Code::E0104 => "consecutive rules are not dependent",
+            Code::E0105 => "head arity differs from the dependent event",
+            Code::E0106 => "relation used with inconsistent arities",
+            Code::E0107 => "head relation appears as a condition atom",
+            Code::E0108 => "head variable not bound by the body",
+            Code::E0109 => "input event relation is also slow-changing",
+            Code::E0110 => "no output relation",
+            Code::E0111 => "duplicate rule label",
+            Code::W0201 => "variable bound but never used",
+            Code::W0202 => "expression variable never bound",
+            Code::W0203 => "constant head location specifier",
+            Code::W0204 => "condition atom not local to the event",
+            Code::W0205 => "rule unreachable from the input event",
+            Code::W0206 => "assignment shadows a bound variable",
+            Code::W0207 => "equivalence keys cover all event attributes",
+            Code::W0208 => "attribute used with conflicting value kinds",
+        }
+    }
+
+    /// All codes, in ascending order.
+    pub const ALL: [Code; 19] = [
+        Code::E0101,
+        Code::E0102,
+        Code::E0103,
+        Code::E0104,
+        Code::E0105,
+        Code::E0106,
+        Code::E0107,
+        Code::E0108,
+        Code::E0109,
+        Code::E0110,
+        Code::E0111,
+        Code::W0201,
+        Code::W0202,
+        Code::W0203,
+        Code::W0204,
+        Code::W0205,
+        Code::W0206,
+        Code::W0207,
+        Code::W0208,
+    ];
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A span with an attached note, anchoring a diagnostic to source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Label {
+    /// Where in the source the label points.
+    pub span: Span,
+    /// Short note rendered next to the carets (may be empty).
+    pub message: String,
+}
+
+impl Label {
+    /// A label at `span` with note `message`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Label {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (usually [`Code::default_severity`]; relaxed validation
+    /// downgrades strict-only errors to warnings).
+    pub severity: Severity,
+    /// The main human-readable message.
+    pub message: String,
+    /// Primary location of the finding.
+    pub primary: Label,
+    /// Related locations (first definition, conflicting use, ...).
+    pub secondary: Vec<Label>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at `code`'s default severity.
+    pub fn new(code: Code, message: impl Into<String>, primary: Label) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            message: message.into(),
+            primary,
+            secondary: Vec::new(),
+        }
+    }
+
+    /// Downgrade to warning severity (relaxed validation).
+    pub fn warning(mut self) -> Self {
+        self.severity = Severity::Warning;
+        self
+    }
+
+    /// Attach a secondary label.
+    pub fn with_secondary(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.secondary.push(Label::new(span, message));
+        self
+    }
+
+    /// Is this an error-severity diagnostic?
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Render the diagnostic with a source excerpt, rustc style. `name` is
+    /// the display name of the source (file path or program name).
+    ///
+    /// Dummy spans render the header only; secondary labels get their own
+    /// excerpt blocks underlined with `-`.
+    pub fn render(&self, src: &str, name: &str) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        render_block(&mut out, src, name, &self.primary, '^');
+        for sec in &self.secondary {
+            render_block(&mut out, src, name, sec, '-');
+        }
+        out
+    }
+}
+
+/// Append one ` --> name:line:col` excerpt block for `label` to `out`.
+fn render_block(out: &mut String, src: &str, name: &str, label: &Label, marker: char) {
+    let span = label.span;
+    if span.is_dummy() {
+        if !label.message.is_empty() {
+            out.push_str(&format!("  = note: {}\n", label.message));
+        }
+        return;
+    }
+    let Some((line_start, line_text)) = line_bounds(src, span.line) else {
+        out.push_str(&format!(" --> {name}:{}:{}\n", span.line, span.col));
+        return;
+    };
+    let gutter = span.line.to_string();
+    let pad = " ".repeat(gutter.len());
+    // Marker width: characters of the span that fall on its first line.
+    let end = span.end.min(line_start + line_text.len()).max(span.start);
+    let width = src
+        .get(span.start..end)
+        .map(|s| s.chars().count())
+        .unwrap_or(1)
+        .max(1);
+    let indent = " ".repeat(span.col.saturating_sub(1));
+    let markers = marker.to_string().repeat(width);
+    out.push_str(&format!("{pad}--> {name}:{}:{}\n", span.line, span.col));
+    out.push_str(&format!("{pad} |\n"));
+    out.push_str(&format!("{gutter} | {line_text}\n"));
+    if label.message.is_empty() {
+        out.push_str(&format!("{pad} | {indent}{markers}\n"));
+    } else {
+        out.push_str(&format!("{pad} | {indent}{markers} {}\n", label.message));
+    }
+}
+
+/// Byte offset and text of 1-based line `line` in `src`.
+fn line_bounds(src: &str, line: usize) -> Option<(usize, &str)> {
+    let mut offset = 0usize;
+    for (i, text) in src.split('\n').enumerate() {
+        if i + 1 == line {
+            return Some((offset, text));
+        }
+        offset += text.len() + 1;
+    }
+    None
+}
+
+/// Wrap a parser/lexer error (`Error::Parse { line, col, msg }`) in a
+/// renderable diagnostic-style excerpt. Parse errors have no stable code;
+/// they render as `error: <msg>` with a one-character caret.
+pub fn render_parse_error(src: &str, name: &str, line: usize, col: usize, msg: &str) -> String {
+    let mut out = format!("error: {msg}\n");
+    let label = Label::new(Span::from_line_col(src, line, col), "");
+    render_block(&mut out, src, name, &label, '^');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_ordered() {
+        assert_eq!(Code::E0108.as_str(), "E0108");
+        assert_eq!(Code::E0108.default_severity(), Severity::Error);
+        assert_eq!(Code::W0204.default_severity(), Severity::Warning);
+        let strs: Vec<_> = Code::ALL.iter().map(|c| c.as_str()).collect();
+        let mut sorted = strs.clone();
+        sorted.sort();
+        assert_eq!(strs, sorted, "Code::ALL must be ascending");
+    }
+
+    #[test]
+    fn render_points_carets_at_the_span() {
+        let src = "r1 a(@X, Z) :- e(@X, Y).";
+        let d = Diagnostic::new(
+            Code::E0108,
+            "head variable `Z` of rule `r1` is not bound by the body",
+            Label::new(Span::new(9, 10, 1, 10), "not bound"),
+        );
+        let rendered = d.render(src, "prog.ndlog");
+        assert_eq!(
+            rendered,
+            "error[E0108]: head variable `Z` of rule `r1` is not bound by the body\n \
+             --> prog.ndlog:1:10\n  \
+             |\n\
+             1 | r1 a(@X, Z) :- e(@X, Y).\n  \
+             |          ^ not bound\n"
+        );
+    }
+
+    #[test]
+    fn render_secondary_labels_use_dashes() {
+        let src = "r1 a(@X) :- b(@X).\nr1 c(@X) :- a(@X).";
+        let d = Diagnostic::new(
+            Code::E0111,
+            "duplicate rule label `r1`",
+            Label::new(Span::new(19, 21, 2, 1), "label redefined here"),
+        )
+        .with_secondary(Span::new(0, 2, 1, 1), "first defined here");
+        let rendered = d.render(src, "p");
+        assert!(rendered.contains("^^ label redefined here"), "{rendered}");
+        assert!(rendered.contains("-- first defined here"), "{rendered}");
+        assert!(rendered.contains("--> p:2:1"), "{rendered}");
+        assert!(rendered.contains("--> p:1:1"), "{rendered}");
+    }
+
+    #[test]
+    fn dummy_spans_render_header_only() {
+        let d = Diagnostic::new(
+            Code::E0101,
+            "program has no rules",
+            Label::new(Span::DUMMY, ""),
+        );
+        assert_eq!(d.render("", "p"), "error[E0101]: program has no rules\n");
+    }
+
+    #[test]
+    fn parse_errors_render_with_carets() {
+        let src = "r1 a(@X) :- b(@X)";
+        let rendered = render_parse_error(src, "p", 1, 18, "expected `.`, found end of input");
+        assert!(rendered.starts_with("error: expected `.`"), "{rendered}");
+        assert!(rendered.contains("--> p:1:18"), "{rendered}");
+    }
+}

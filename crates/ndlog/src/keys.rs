@@ -12,7 +12,7 @@
 
 use dpc_common::{EqKeyHash, Error, Result, Tuple, Value};
 
-use crate::ast::{BodyItem, Rule, Term};
+use crate::ast::{BodyItem, Rule, TermKind};
 use crate::delp::Delp;
 use crate::depgraph::DepGraph;
 
@@ -30,7 +30,7 @@ pub fn join_key_positions(rule: &Rule) -> Vec<Vec<usize>> {
         bound: &mut std::collections::HashSet<&'a str>,
     ) {
         for t in &atom.args {
-            if let Term::Var(v) = t {
+            if let TermKind::Var(v) = &t.kind {
                 bound.insert(v.as_str());
             }
         }
@@ -52,9 +52,9 @@ pub fn join_key_positions(rule: &Rule) -> Vec<Vec<usize>> {
                     .args
                     .iter()
                     .enumerate()
-                    .filter(|(_, t)| match t {
-                        Term::Const(_) => true,
-                        Term::Var(v) => bound.contains(v.as_str()),
+                    .filter(|(_, t)| match &t.kind {
+                        TermKind::Const(_) => true,
+                        TermKind::Var(v) => bound.contains(v.as_str()),
                     })
                     .map(|(p, _)| p)
                     .collect();

@@ -5,15 +5,15 @@
 
 use dpc_common::{Error, Result};
 
-/// One lexical token plus its source position.
+use crate::span::Span;
+
+/// One lexical token plus its source span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// Token kind and payload.
     pub kind: TokenKind,
-    /// 1-based source line.
-    pub line: usize,
-    /// 1-based source column.
-    pub col: usize,
+    /// Byte range and line/column of the token in the source text.
+    pub span: Span,
 }
 
 /// The kinds of token NDlog source can contain.
@@ -99,6 +99,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
 
 struct Lexer<'a> {
     chars: std::iter::Peekable<std::str::Chars<'a>>,
+    offset: usize,
     line: usize,
     col: usize,
 }
@@ -107,6 +108,7 @@ impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
         Lexer {
             chars: src.chars().peekable(),
+            offset: 0,
             line: 1,
             col: 1,
         }
@@ -122,6 +124,7 @@ impl<'a> Lexer<'a> {
 
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.next()?;
+        self.offset += c.len_utf8();
         if c == '\n' {
             self.line += 1;
             self.col = 1;
@@ -156,9 +159,12 @@ impl<'a> Lexer<'a> {
                 }
                 _ => {}
             }
-            let (line, col) = (self.line, self.col);
+            let (start, line, col) = (self.offset, self.line, self.col);
             let kind = self.next_kind()?;
-            out.push(Token { kind, line, col });
+            out.push(Token {
+                kind,
+                span: Span::new(start, self.offset, line, col),
+            });
         }
         Ok(out)
     }
@@ -382,8 +388,11 @@ mod tests {
     #[test]
     fn positions_are_tracked() {
         let toks = lex("ab\n cd").unwrap();
-        assert_eq!((toks[0].line, toks[0].col), (1, 1));
-        assert_eq!((toks[1].line, toks[1].col), (2, 2));
+        assert_eq!((toks[0].span.line, toks[0].span.col), (1, 1));
+        assert_eq!((toks[1].span.line, toks[1].span.col), (2, 2));
+        // Byte offsets are tracked too: `cd` starts after `ab\n ` (4 bytes).
+        assert_eq!((toks[0].span.start, toks[0].span.end), (0, 2));
+        assert_eq!((toks[1].span.start, toks[1].span.end), (4, 6));
     }
 
     #[test]

@@ -35,7 +35,7 @@
 
 use dpc_common::Value;
 
-use crate::ast::{Atom, BodyItem, CmpOp, Expr, Program, Rule, Term};
+use crate::ast::{Atom, BodyItem, CmpOp, Expr, ExprKind, Program, Rule, Term, TermKind};
 use crate::delp::Delp;
 use crate::keys::EquivKeys;
 
@@ -50,15 +50,15 @@ pub const RULE_EXEC_PREFIX: &str = "ruleExec_";
 pub const META_ARITY: usize = 2;
 
 fn var(name: impl Into<String>) -> Term {
-    Term::Var(name.into())
+    Term::var(name)
 }
 
 fn call(name: &str, args: Vec<Expr>) -> Expr {
-    Expr::Call(name.to_string(), args)
+    Expr::call(name, args)
 }
 
 fn sconst(s: &str) -> Expr {
-    Expr::Const(Value::Str(s.to_string()))
+    Expr::cnst(Value::Str(s.to_string()))
 }
 
 /// Fresh meta variable names that cannot collide with user variables
@@ -102,10 +102,7 @@ pub fn rewrite_basic(delp: &Delp) -> Program {
         // Event-vid assignment: hash of the *original* event tuple.
         let mut ve_args = vec![sconst(&event.rel)];
         ve_args.extend(event.args.iter().map(term_to_expr));
-        let assign_ve = BodyItem::Assign {
-            var: ve.clone(),
-            expr: call("f_vid", ve_args),
-        };
+        let assign_ve = BodyItem::assign(ve.clone(), call("f_vid", ve_args));
 
         // Slow-tuple vid expressions, in body order.
         let slow_atoms: Vec<&Atom> = rule.condition_atoms().collect();
@@ -121,12 +118,9 @@ pub fn rewrite_basic(delp: &Delp) -> Program {
         // RID := f_rid(label, loc, VE, slow vids...) — matches the
         // ExSPAN/Basic rid hash exactly.
         let loc_expr = term_to_expr(event.args.first().expect("events have a location"));
-        let mut rid_args = vec![sconst(&rule.label), loc_expr.clone(), Expr::Var(ve.clone())];
+        let mut rid_args = vec![sconst(&rule.label), loc_expr.clone(), Expr::var(ve.clone())];
         rid_args.extend(slow_vid_exprs.iter().cloned());
-        let assign_rid = BodyItem::Assign {
-            var: rid_new.clone(),
-            expr: call("f_rid", rid_args),
-        };
+        let assign_rid = BodyItem::assign(rid_new.clone(), call("f_rid", rid_args));
 
         // The rewritten forwarding rule: head carries (loc, RID).
         let mut head_meta = rule.head.clone();
@@ -136,11 +130,7 @@ pub fn rewrite_basic(delp: &Delp) -> Program {
         body.extend(conditions.iter().cloned());
         body.push(assign_ve.clone());
         body.push(assign_rid.clone());
-        rules.push(Rule {
-            label: rule.label.clone(),
-            head: head_meta,
-            body,
-        });
+        rules.push(Rule::new(rule.label.clone(), head_meta, body));
 
         // Provenance rules: the Basic ruleExec rows. Two variants because
         // the chain tail additionally stores the input event's vid
@@ -159,27 +149,24 @@ pub fn rewrite_basic(delp: &Delp) -> Program {
             body.push(assign_rid.clone());
             for (k, e) in slow_vid_exprs.iter().enumerate() {
                 let v = format!("{ve}S{k}");
-                body.push(BodyItem::Assign {
-                    var: v.clone(),
-                    expr: e.clone(),
-                });
+                body.push(BodyItem::assign(v.clone(), e.clone()));
                 h_args.push(var(v));
             }
             h_args.push(var(&ploc));
             h_args.push(var(&prid));
-            body.push(BodyItem::Constraint {
-                left: Expr::Var(prid.clone()),
-                op: guard,
-                right: sconst(NULL_REF),
-            });
-            rules.push(Rule {
-                label: format!("{}_{variant}", rule.label),
-                head: Atom {
-                    rel: format!("{RULE_EXEC_PREFIX}{}_{variant}", rule.label),
-                    args: h_args,
-                },
+            body.push(BodyItem::constraint(
+                Expr::var(prid.clone()),
+                guard,
+                sconst(NULL_REF),
+            ));
+            rules.push(Rule::new(
+                format!("{}_{variant}", rule.label),
+                Atom::new(
+                    format!("{RULE_EXEC_PREFIX}{}_{variant}", rule.label),
+                    h_args,
+                ),
                 body,
-            });
+            ));
         }
     }
 
@@ -234,14 +221,11 @@ pub fn rewrite_advanced(delp: &Delp, keys: &EquivKeys) -> Program {
         // Advanced rule-execution id, recomputable by every execution.
         let mut rid_args = vec![
             sconst(&rule.label),
-            Expr::Var(ploc.clone()),
-            Expr::Var(prid.clone()),
+            Expr::var(ploc.clone()),
+            Expr::var(prid.clone()),
         ];
         rid_args.extend(slow_vid_exprs.iter().cloned());
-        let assign_rid = BodyItem::Assign {
-            var: rid_new.clone(),
-            expr: call("f_arid", rid_args),
-        };
+        let assign_rid = BodyItem::assign(rid_new.clone(), call("f_arid", rid_args));
 
         // Variants: `_in` fires on raw inputs (computes the flag via the
         // stage-1 check), `_fwd` on intermediate events (propagates it).
@@ -249,11 +233,11 @@ pub fn rewrite_advanced(delp: &Delp, keys: &EquivKeys) -> Program {
             if input_side && !is_input_rel {
                 continue; // only the input relation receives raw events
             }
-            let guard = BodyItem::Constraint {
-                left: Expr::Var(prid.clone()),
-                op: if input_side { CmpOp::Eq } else { CmpOp::Ne },
-                right: sconst(NULL_REF),
-            };
+            let guard = BodyItem::constraint(
+                Expr::var(prid.clone()),
+                if input_side { CmpOp::Eq } else { CmpOp::Ne },
+                sconst(NULL_REF),
+            );
             // The flag variable used downstream of this variant.
             let out_flag = if input_side {
                 format!("{flag}2")
@@ -276,15 +260,15 @@ pub fn rewrite_advanced(delp: &Delp, keys: &EquivKeys) -> Program {
                     .map(|&i| term_to_expr(&event.args[i]))
                     .collect();
                 let mut args = vec![
-                    Expr::Const(Value::Int(key_attrs.len() as i64)),
+                    Expr::cnst(Value::Int(key_attrs.len() as i64)),
                     loc_expr.clone(),
                 ];
                 args.extend(key_attrs);
                 args.extend(event.args.iter().map(term_to_expr));
-                common.push(BodyItem::Assign {
-                    var: out_flag.clone(),
-                    expr: call("f_existflag", args),
-                });
+                common.push(BodyItem::assign(
+                    out_flag.clone(),
+                    call("f_existflag", args),
+                ));
             }
             common.push(assign_rid.clone());
 
@@ -293,39 +277,33 @@ pub fn rewrite_advanced(delp: &Delp, keys: &EquivKeys) -> Program {
             head_meta.args.push(term_to_expr_term(&loc_expr));
             head_meta.args.push(var(&rid_new));
             head_meta.args.push(var(&out_flag));
-            rules.push(Rule {
-                label: format!("{}_{variant}", rule.label),
-                head: head_meta,
-                body: common.clone(),
-            });
+            rules.push(Rule::new(
+                format!("{}_{variant}", rule.label),
+                head_meta,
+                common.clone(),
+            ));
 
             // Provenance variant: only uncompressed executions emit rows.
             let mut h_args: Vec<Term> = vec![term_to_expr_term(&loc_expr), var(&rid_new)];
             let mut body = common.clone();
             for (k, e) in slow_vid_exprs.iter().enumerate() {
                 let v = format!("{rid_new}S{k}");
-                body.push(BodyItem::Assign {
-                    var: v.clone(),
-                    expr: e.clone(),
-                });
+                body.push(BodyItem::assign(v.clone(), e.clone()));
                 h_args.push(var(v));
             }
             h_args.push(var(&ploc));
             h_args.push(var(&prid));
-            body.push(BodyItem::Constraint {
-                left: Expr::Var(out_flag.clone()),
-                op: CmpOp::Eq,
-                right: Expr::Const(Value::Bool(false)),
-            });
+            body.push(BodyItem::constraint(
+                Expr::var(out_flag.clone()),
+                CmpOp::Eq,
+                Expr::cnst(Value::Bool(false)),
+            ));
             let prov_variant = if input_side { "tail" } else { "mid" };
-            rules.push(Rule {
-                label: format!("{}_{variant}_prov", rule.label),
-                head: Atom {
-                    rel: format!("ruleExecA_{}_{prov_variant}", rule.label),
-                    args: h_args,
-                },
+            rules.push(Rule::new(
+                format!("{}_{variant}_prov", rule.label),
+                Atom::new(format!("ruleExecA_{}_{prov_variant}", rule.label), h_args),
                 body,
-            });
+            ));
         }
     }
 
@@ -333,17 +311,17 @@ pub fn rewrite_advanced(delp: &Delp, keys: &EquivKeys) -> Program {
 }
 
 fn term_to_expr(t: &Term) -> Expr {
-    match t {
-        Term::Var(v) => Expr::Var(v.clone()),
-        Term::Const(c) => Expr::Const(c.clone()),
+    match &t.kind {
+        TermKind::Var(v) => Expr::var(v.clone()),
+        TermKind::Const(c) => Expr::cnst(c.clone()),
     }
 }
 
 fn term_to_expr_term(e: &Expr) -> Term {
-    match e {
-        Expr::Var(v) => Term::Var(v.clone()),
-        Expr::Const(c) => Term::Const(c.clone()),
-        other => unreachable!("location expressions are terms, got {other}"),
+    match &e.kind {
+        ExprKind::Var(v) => Term::var(v.clone()),
+        ExprKind::Const(c) => Term::cnst(c.clone()),
+        other => unreachable!("location expressions are terms, got {other:?}"),
     }
 }
 
@@ -413,7 +391,7 @@ mod tests {
         let r1 = p.rule("r1").unwrap();
         let ev = r1.event().unwrap();
         // The appended meta attribute is PLOC_ (renamed), not PLOC.
-        assert_eq!(ev.args[ev.arity() - 2], Term::Var("PLOC_".into()));
+        assert_eq!(ev.args[ev.arity() - 2], Term::var("PLOC_"));
     }
 
     #[test]
@@ -448,7 +426,7 @@ mod tests {
             p.rule(label)
                 .unwrap()
                 .assignments()
-                .any(|(_, e)| matches!(e, Expr::Call(n, _) if n == "f_existflag"))
+                .any(|(_, e)| matches!(&e.kind, ExprKind::Call(n, _) if n == "f_existflag"))
         };
         assert!(has_check("r1_in"));
         assert!(has_check("r1_in_prov"));
@@ -459,7 +437,7 @@ mod tests {
             .rule("r1_fwd_prov")
             .unwrap()
             .constraints()
-            .filter(|(_, _, r)| matches!(r, Expr::Const(Value::Bool(false))))
+            .filter(|(_, _, r)| matches!(&r.kind, ExprKind::Const(Value::Bool(false))))
             .count();
         assert_eq!(guard_count, 1);
         // It still parses and validates relaxed.

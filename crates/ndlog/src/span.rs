@@ -1,0 +1,138 @@
+//! Source spans: byte ranges plus human-readable line/column positions.
+//!
+//! Every AST node produced by the parser carries a [`Span`] pointing back
+//! at the source text it was parsed from, so semantic analysis can attach
+//! diagnostics to precise source locations. Nodes synthesized by program
+//! rewrites (see [`crate::rewrite`]) carry [`Span::DUMMY`].
+//!
+//! Spans are deliberately **ignored by `PartialEq` and `Hash`** on the AST
+//! nodes that embed them: two programs that parse to the same structure
+//! compare equal even when whitespace or formatting differ, which keeps
+//! round-trip (`parse → Display → parse`) equality working.
+
+/// A half-open byte range `[start, end)` into the source text, plus the
+/// 1-based line/column of `start`.
+///
+/// [`Span::DUMMY`] (all zeros, `line == 0`) marks synthesized nodes that
+/// have no source location; renderers skip the source excerpt for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte covered (inclusive).
+    pub start: usize,
+    /// Byte offset one past the last byte covered (exclusive).
+    pub end: usize,
+    /// 1-based source line of `start`; `0` for dummy spans.
+    pub line: usize,
+    /// 1-based source column (in characters) of `start`; `0` for dummy spans.
+    pub col: usize,
+}
+
+impl Span {
+    /// The span of a synthesized node with no source location.
+    pub const DUMMY: Span = Span {
+        start: 0,
+        end: 0,
+        line: 0,
+        col: 0,
+    };
+
+    /// Construct a span from its four components.
+    pub fn new(start: usize, end: usize, line: usize, col: usize) -> Self {
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+
+    /// Is this the dummy span of a synthesized node?
+    pub fn is_dummy(&self) -> bool {
+        self.line == 0
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// Dummy spans are the identity: joining with one returns the other
+    /// unchanged, so partially-synthesized nodes keep whatever real
+    /// location they have.
+    pub fn join(self, other: Span) -> Span {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() {
+            return self;
+        }
+        let (line, col) = if (other.line, other.col) < (self.line, self.col) {
+            (other.line, other.col)
+        } else {
+            (self.line, self.col)
+        };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line,
+            col,
+        }
+    }
+
+    /// Reconstruct a one-character span from a 1-based line/column pair,
+    /// as carried by [`dpc_common::Error::Parse`]. Returns [`Span::DUMMY`]
+    /// when the position does not exist in `src`.
+    pub fn from_line_col(src: &str, line: usize, col: usize) -> Span {
+        if line == 0 || col == 0 {
+            return Span::DUMMY;
+        }
+        let mut offset = 0usize;
+        for (i, text) in src.split('\n').enumerate() {
+            if i + 1 == line {
+                let byte = text
+                    .char_indices()
+                    .nth(col - 1)
+                    .map(|(b, _)| b)
+                    .unwrap_or(text.len());
+                let start = offset + byte;
+                let end = if start < src.len() { start + 1 } else { start };
+                return Span {
+                    start,
+                    end,
+                    line,
+                    col,
+                };
+            }
+            offset += text.len() + 1;
+        }
+        Span::DUMMY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_covers_both_and_keeps_earlier_position() {
+        let a = Span::new(4, 7, 1, 5);
+        let b = Span::new(10, 12, 2, 3);
+        assert_eq!(a.join(b), Span::new(4, 12, 1, 5));
+        assert_eq!(b.join(a), Span::new(4, 12, 1, 5));
+    }
+
+    #[test]
+    fn dummy_is_join_identity() {
+        let a = Span::new(4, 7, 1, 5);
+        assert_eq!(a.join(Span::DUMMY), a);
+        assert_eq!(Span::DUMMY.join(a), a);
+        assert!(Span::DUMMY.is_dummy());
+    }
+
+    #[test]
+    fn from_line_col_finds_byte_offsets() {
+        let src = "ab\ncdef\ng";
+        let s = Span::from_line_col(src, 2, 3);
+        assert_eq!((s.start, s.end, s.line, s.col), (5, 6, 2, 3));
+        assert_eq!(&src[s.start..s.end], "e");
+        assert!(Span::from_line_col(src, 9, 1).is_dummy());
+        assert!(Span::from_line_col(src, 0, 0).is_dummy());
+    }
+}

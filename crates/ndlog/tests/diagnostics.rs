@@ -1,0 +1,306 @@
+//! One deliberately broken program per diagnostic code, asserting the
+//! code, the primary span and the rendered rustc-style excerpt.
+//!
+//! These are golden-style tests for the user-visible surface of the
+//! analyzer: if a message, span or rendering regresses, the assertion
+//! names the exact source line the user would have seen.
+
+use dpc_ndlog::{analyze, analyze_structure, parse_program, Code, Diagnostic, Mode, Severity};
+
+const FILE: &str = "test.ndlog";
+
+/// Analyze `src` in strict mode and return the first diagnostic with
+/// `code` plus its rendering against the source.
+fn diag(src: &str, code: Code) -> (Diagnostic, String) {
+    diag_mode(src, code, Mode::Strict)
+}
+
+fn diag_mode(src: &str, code: Code, mode: Mode) -> (Diagnostic, String) {
+    let program = parse_program(src).expect("program should parse");
+    let analysis = analyze(&program, mode);
+    let d = analysis
+        .by_code(code)
+        .next()
+        .unwrap_or_else(|| {
+            panic!(
+                "expected {code:?} on {src:?}, got {:?}",
+                analysis
+                    .diagnostics
+                    .iter()
+                    .map(|d| d.code)
+                    .collect::<Vec<_>>()
+            )
+        })
+        .clone();
+    let rendered = d.render(src, FILE);
+    (d, rendered)
+}
+
+fn assert_span(d: &Diagnostic, line: usize, col: usize) {
+    assert_eq!(
+        (d.primary.span.line, d.primary.span.col),
+        (line, col),
+        "wrong primary span for {:?}: {}",
+        d.code,
+        d.message
+    );
+}
+
+#[test]
+fn e0101_empty_program() {
+    let (d, rendered) = diag("", Code::E0101);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(rendered.starts_with("error[E0101]"), "{rendered}");
+}
+
+#[test]
+fn e0102_rule_without_event_atom() {
+    let src = "r1 out(@X) :- X == X.";
+    let (d, rendered) = diag(src, Code::E0102);
+    assert_span(&d, 1, 1);
+    assert!(d.message.contains("`r1`"), "{}", d.message);
+    assert!(rendered.contains("error[E0102]"), "{rendered}");
+    assert!(rendered.contains("--> test.ndlog:1:1"), "{rendered}");
+    assert!(rendered.contains("1 | r1 out(@X) :- X == X."), "{rendered}");
+}
+
+#[test]
+fn e0103_rule_not_leading_with_event() {
+    let src = "r1 out(@X) :- X == X, e(@X).";
+    let (d, rendered) = diag(src, Code::E0103);
+    // The primary span is the constraint that runs before the event.
+    assert_span(&d, 1, 15);
+    assert!(!d.secondary.is_empty(), "should point at the event atom");
+    assert!(
+        rendered.contains("^^^^^^ this runs before the event binds its variables"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn e0104_non_dependent_consecutive_rules() {
+    let src = "r1 mid(@X) :- e(@X).\nr2 out(@X) :- other(@X).";
+    let (d, rendered) = diag(src, Code::E0104);
+    // Primary: the event atom of r2 that should have been `mid`.
+    assert_span(&d, 2, 15);
+    assert!(d.message.contains("`mid`"), "{}", d.message);
+    assert!(d.message.contains("`other`"), "{}", d.message);
+    assert!(
+        rendered.contains("^^^^^^^^^ expected event relation `mid`"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("--- `mid` is derived here"),
+        "secondary label should mark the deriving head: {rendered}"
+    );
+}
+
+#[test]
+fn e0105_dependency_arity_mismatch() {
+    let src = "r1 mid(@X, Y) :- e(@X, Y).\nr2 out(@X) :- mid(@X).";
+    let (d, rendered) = diag(src, Code::E0105);
+    assert_span(&d, 2, 15);
+    assert!(d.message.contains("arity 2"), "{}", d.message);
+    assert!(d.message.contains("arity 1"), "{}", d.message);
+    assert!(
+        rendered.contains("consumed here with arity 1"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn e0106_inconsistent_relation_arity() {
+    let src = "r1 mid(@X) :- e(@X, Y), s(@X, Y).\nr2 out(@X) :- mid(@X), s(@X).";
+    let (d, rendered) = diag(src, Code::E0106);
+    // `s` is used with arity 2 in r1, arity 1 in r2.
+    assert_span(&d, 2, 24);
+    assert!(d.message.contains("`s`"), "{}", d.message);
+    assert!(
+        rendered.contains("^^^^^ used here with arity 1"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("first used with arity 2 here"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn e0107_head_relation_as_condition() {
+    let src = "r1 mid(@X) :- e(@X).\nr2 out(@X) :- mid(@X), mid(@X).";
+    let (d, rendered) = diag(src, Code::E0107);
+    // The second `mid` atom of r2 (a condition, not the event).
+    assert_span(&d, 2, 24);
+    assert!(
+        rendered.contains("used as a slow-changing condition here"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn e0108_unbound_head_variable() {
+    let src = "r1 out(@X, W) :- e(@X).";
+    let (d, rendered) = diag(src, Code::E0108);
+    // The `W` in the head.
+    assert_span(&d, 1, 12);
+    assert!(d.message.contains("`W`"), "{}", d.message);
+    assert!(
+        rendered.contains("^ not bound by any atom or assignment"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn e0109_input_event_also_slow() {
+    let src = "r1 out(@X) :- e(@X), e(@X).";
+    let (d, rendered) = diag(src, Code::E0109);
+    // The second `e`, used as a condition.
+    assert_span(&d, 1, 22);
+    assert!(d.message.contains("`e`"), "{}", d.message);
+    assert!(
+        rendered.contains("the program's input event"),
+        "secondary should mark the input event: {rendered}"
+    );
+}
+
+#[test]
+fn e0110_no_output_relation() {
+    let src = "r1 a(@X) :- b(@X).\nr2 b(@X) :- a(@X).";
+    let (d, rendered) = diag(src, Code::E0110);
+    // Reported on the last head that is also consumed.
+    assert_span(&d, 2, 4);
+    assert!(
+        rendered.contains("this head is also consumed as an event"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn e0111_duplicate_rule_label() {
+    // The parser already rejects duplicate labels, so exercise the
+    // analyzer on a hand-built program (how rewrites could produce one).
+    let p1 = parse_program("r1 mid(@X) :- e(@X).").unwrap();
+    let p2 = parse_program("r1 out(@X) :- mid(@X).").unwrap();
+    let mut program = p1;
+    program.rules.extend(p2.rules);
+    let diags = analyze_structure(&program, Mode::Strict);
+    let d = diags.iter().find(|d| d.code == Code::E0111).expect("E0111");
+    assert!(d.message.contains("`r1`"), "{}", d.message);
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn parser_rejects_duplicate_labels_with_position() {
+    let err = parse_program("r1 mid(@X) :- e(@X).\nr1 out(@X) :- mid(@X).").unwrap_err();
+    match err {
+        dpc_common::Error::Parse { line, col, msg } => {
+            assert_eq!((line, col), (2, 1));
+            assert!(msg.contains("duplicate rule label `r1`"), "{msg}");
+            assert!(msg.contains("first defined at 1:1"), "{msg}");
+        }
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn w0201_unused_variable() {
+    let src = "r1 out(@X, Y) :- e(@X, Y, Z).";
+    let (d, rendered) = diag(src, Code::W0201);
+    assert_eq!(d.severity, Severity::Warning);
+    // The `Z` in the event atom.
+    assert_span(&d, 1, 27);
+    assert!(rendered.contains("warning[W0201]"), "{rendered}");
+    assert!(
+        rendered.contains("^ bound here, never used again"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn w0202_unbound_expression_variable() {
+    let src = "r1 out(@X, Y) :- e(@X, Z), Y := Q + 1.";
+    let (d, rendered) = diag(src, Code::W0202);
+    assert!(d.message.contains("`Q`"), "{}", d.message);
+    // The `Q` in the assignment right-hand side.
+    assert_span(&d, 1, 33);
+    assert!(rendered.contains("warning[W0202]"), "{rendered}");
+}
+
+#[test]
+fn w0203_constant_head_location() {
+    let src = "r1 out(@5, Y) :- e(@X, Y), s(@X, X).";
+    let (d, rendered) = diag(src, Code::W0203);
+    // The `5` after `@` in the head.
+    assert_span(&d, 1, 9);
+    assert!(rendered.contains("warning[W0203]"), "{rendered}");
+}
+
+#[test]
+fn w0204_non_local_condition() {
+    let src = "r1 out(@X, Y) :- e(@X, Y), s(@Y, Z), Z == Z.";
+    let (d, rendered) = diag(src, Code::W0204);
+    assert!(d.message.contains("`s`"), "{}", d.message);
+    // The `Y` location specifier of the `s` atom.
+    assert_span(&d, 1, 31);
+    assert!(rendered.contains("location specifier here"), "{rendered}");
+    assert!(rendered.contains("the event executes at `X`"), "{rendered}");
+}
+
+#[test]
+fn w0205_dead_rule() {
+    // Relaxed mode: r2 is never reachable from the input event `e`.
+    let src = "r1 out(@X, Y) :- e(@X, Y), s(@X, Y).\nr2 out2(@X, Y) :- f(@X, Y), s(@X, Y).";
+    let (d, rendered) = diag_mode(src, Code::W0205, Mode::Relaxed);
+    assert!(d.message.contains("`r2`"), "{}", d.message);
+    assert_eq!(d.primary.span.line, 2);
+    assert!(rendered.contains("warning[W0205]"), "{rendered}");
+}
+
+#[test]
+fn w0206_shadowed_assignment() {
+    let src = "r1 out(@X, Y) :- e(@X, Y), Y := Y + 1.";
+    let (d, rendered) = diag(src, Code::W0206);
+    // The `Y` on the left of `:=`.
+    assert_span(&d, 1, 28);
+    assert!(rendered.contains("^ rebound here"), "{rendered}");
+    assert!(rendered.contains("- first bound here"), "{rendered}");
+}
+
+#[test]
+fn w0207_keys_cover_all_attributes() {
+    let src = "r1 recvd(@L, D) :- pkt(@L, D), route(@L, D).";
+    let (d, rendered) = diag(src, Code::W0207);
+    assert!(d.message.contains("all 2 attributes"), "{}", d.message);
+    // The `pkt(@L, D)` event atom.
+    assert_span(&d, 1, 20);
+    assert!(
+        rendered.contains("every attribute of this event is an equivalence key"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn w0208_conflicting_attribute_kinds() {
+    let src = r#"r1 out(@X, Y) :- e(@X, Y), s(@X, Y), Y > 5, Y == "a"."#;
+    let (d, rendered) = diag(src, Code::W0208);
+    assert!(
+        d.message.contains("conflicting value kinds"),
+        "{}",
+        d.message
+    );
+    assert!(!d.secondary.is_empty(), "evidence spans expected");
+    assert!(rendered.contains("warning[W0208]"), "{rendered}");
+}
+
+#[test]
+fn clean_program_renders_nothing() {
+    let analysis = analyze(
+        &parse_program(dpc_ndlog::programs::PACKET_FORWARDING).unwrap(),
+        Mode::Strict,
+    );
+    assert!(
+        analysis.diagnostics.is_empty(),
+        "{:?}",
+        analysis.diagnostics
+    );
+}

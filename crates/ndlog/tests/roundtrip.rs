@@ -63,26 +63,26 @@ fn random_constant(rng: &mut SeededRng) -> Value {
 
 fn random_term(rng: &mut SeededRng) -> Term {
     if rng.random_bool(0.5) {
-        Term::Var(random_var(rng))
+        Term::var(random_var(rng))
     } else {
-        Term::Const(random_constant(rng))
+        Term::cnst(random_constant(rng))
     }
 }
 
 fn random_atom(rng: &mut SeededRng) -> Atom {
     let arity = rng.random_range(1..5u64) as usize;
-    Atom {
-        rel: random_rel(rng),
-        args: (0..arity).map(|_| random_term(rng)).collect(),
-    }
+    Atom::new(
+        random_rel(rng),
+        (0..arity).map(|_| random_term(rng)).collect(),
+    )
 }
 
 fn random_expr(rng: &mut SeededRng, depth: usize) -> Expr {
     if depth == 0 || rng.random_bool(0.4) {
         return if rng.random_bool(0.5) {
-            Expr::Var(random_var(rng))
+            Expr::var(random_var(rng))
         } else {
-            Expr::Const(random_constant(rng))
+            Expr::cnst(random_constant(rng))
         };
     }
     if rng.random_bool(0.6) {
@@ -92,14 +92,10 @@ fn random_expr(rng: &mut SeededRng, depth: usize) -> Expr {
             2 => BinOp::Mul,
             _ => BinOp::Div,
         };
-        Expr::BinOp(
-            op,
-            Box::new(random_expr(rng, depth - 1)),
-            Box::new(random_expr(rng, depth - 1)),
-        )
+        Expr::binop(op, random_expr(rng, depth - 1), random_expr(rng, depth - 1))
     } else {
         let n = rng.random_range(1..3u64) as usize;
-        Expr::Call(
+        Expr::call(
             random_fn_name(rng),
             (0..n).map(|_| random_expr(rng, depth - 1)).collect(),
         )
@@ -120,15 +116,8 @@ fn random_cmp_op(rng: &mut SeededRng) -> CmpOp {
 fn random_body_item(rng: &mut SeededRng) -> BodyItem {
     match rng.random_range(0..3u32) {
         0 => BodyItem::Atom(random_atom(rng)),
-        1 => BodyItem::Constraint {
-            left: random_expr(rng, 3),
-            op: random_cmp_op(rng),
-            right: random_expr(rng, 3),
-        },
-        _ => BodyItem::Assign {
-            var: random_var(rng),
-            expr: random_expr(rng, 3),
-        },
+        1 => BodyItem::constraint(random_expr(rng, 3), random_cmp_op(rng), random_expr(rng, 3)),
+        _ => BodyItem::assign(random_var(rng), random_expr(rng, 3)),
     }
 }
 
@@ -138,11 +127,11 @@ fn random_program(rng: &mut SeededRng) -> Program {
         rules: (0..n)
             .map(|i| {
                 let body_len = rng.random_range(1..5u64) as usize;
-                Rule {
-                    label: format!("r{i}"),
-                    head: random_atom(rng),
-                    body: (0..body_len).map(|_| random_body_item(rng)).collect(),
-                }
+                Rule::new(
+                    format!("r{i}"),
+                    random_atom(rng),
+                    (0..body_len).map(|_| random_body_item(rng)).collect(),
+                )
             })
             .collect(),
     }
@@ -154,6 +143,26 @@ fn display_parse_round_trip() {
     for case in 0..CASES {
         let mut rng = SeededRng::seed_from_u64(0xA000 + case);
         let p = random_program(&mut rng);
+        let text = p.to_string();
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("rendered program failed to parse: {e}\n{text}"));
+        assert_eq!(p, reparsed);
+    }
+}
+
+/// Parsing each bundled paper program, pretty-printing it and parsing it
+/// back is the identity. Spans differ between the two parses (the rendered
+/// text is formatted differently), so this also pins down that equality is
+/// span-insensitive.
+#[test]
+fn bundled_programs_round_trip() {
+    for src in [
+        dpc_ndlog::programs::PACKET_FORWARDING,
+        dpc_ndlog::programs::DNS_RESOLUTION,
+        dpc_ndlog::programs::DHCP,
+        dpc_ndlog::programs::ARP,
+    ] {
+        let p = parse_program(src).unwrap();
         let text = p.to_string();
         let reparsed = parse_program(&text)
             .unwrap_or_else(|e| panic!("rendered program failed to parse: {e}\n{text}"));

@@ -6,7 +6,7 @@
 //! Run with a file:    `cargo run --example delp_inspect -- my_program.ndlog`
 //! Or on the built-in: `cargo run --example delp_inspect`
 
-use dpc::ndlog::{equivalence_keys_with_graph, lint, DepGraph};
+use dpc::ndlog::{analyze, equivalence_keys_with_graph, DepGraph, Mode};
 use dpc::prelude::*;
 
 fn main() {
@@ -33,6 +33,7 @@ fn main() {
     };
     println!("== {name} ==\n{program}");
 
+    let analysis = analyze(&program, Mode::Strict);
     let delp = match Delp::new(program) {
         Ok(d) => d,
         Err(e) => {
@@ -58,13 +59,12 @@ fn main() {
             .join(", ")
     );
 
-    let warnings = lint(&delp);
-    if warnings.is_empty() {
-        println!("lints                : none");
+    if analysis.diagnostics.is_empty() {
+        println!("diagnostics          : none");
     } else {
-        println!("lints:");
-        for w in &warnings {
-            println!("  warning: {w}");
+        println!("diagnostics:");
+        for d in &analysis.diagnostics {
+            print!("{}", d.render(&source, &name));
         }
     }
 
