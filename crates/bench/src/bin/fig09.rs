@@ -5,7 +5,10 @@
 //! magnitude less for Advanced (10.3 MB/s). Expect the same linear shapes
 //! and a comparable ratio at the scaled workload.
 
-use dpc_bench::{emit_run_json, print_series, run_forwarding_schemes, Cli, FwdConfig, Scheme};
+use dpc_bench::{
+    emit_run_json, emit_timeseries_json, print_series, run_forwarding_schemes, Cli, FwdConfig,
+    Scheme,
+};
 
 fn main() {
     let cli = Cli::parse();
@@ -24,6 +27,9 @@ fn main() {
     if cli.json {
         for (scheme, out) in &runs {
             emit_run_json("fig09", scheme.name(), &out.m);
+            if cli.timeseries {
+                emit_timeseries_json(&out.m);
+            }
         }
         return;
     }
@@ -31,17 +37,18 @@ fn main() {
         "Figure 9 — total storage over time ({} pairs, {} pkt/s/pair)",
         cfg.pairs, cfg.rate_per_pair
     );
+    // The storage trajectory comes from the runtime's time-series
+    // sampler (summed per-node `recorder.storage_bytes#n` series).
     let mut xs: Vec<f64> = Vec::new();
     let mut series = Vec::new();
     for (scheme, out) in runs {
+        let storage = out.m.storage_series();
         if xs.is_empty() {
-            xs = out.m.snapshots.iter().map(|(s, _)| *s as f64).collect();
+            xs = storage.iter().map(|&(t, _)| t as f64 / 1e9).collect();
         }
-        let ys: Vec<f64> = out
-            .m
-            .snapshots
+        let ys: Vec<f64> = storage
             .iter()
-            .map(|(_, b)| dpc_workload::mb(*b))
+            .map(|&(_, b)| dpc_workload::mb(b as usize))
             .collect();
         let growth = dpc_workload::mb(out.m.total_storage()) / cfg.duration.as_secs_f64();
         eprintln!("  {}: {:.2} MB/s average growth", scheme.name(), growth);

@@ -7,8 +7,8 @@
 //! updating a route every 10 s adds only ~0.6%.
 
 use dpc_bench::{
-    emit_run_json, emit_run_json_with, print_series, print_table, run_forwarding, Cli, FwdConfig,
-    Scheme,
+    emit_run_json, emit_run_json_with, emit_timeseries_json, print_series, print_table,
+    run_forwarding, Cli, FwdConfig, Scheme,
 };
 use dpc_netsim::SimTime;
 use dpc_telemetry::json::Json;
@@ -38,18 +38,17 @@ fn main() {
         let out = run_forwarding(scheme, &base);
         if cli.json {
             emit_run_json("fig11", scheme.name(), &out.m);
+            if cli.timeseries {
+                emit_timeseries_json(&out.m);
+            }
         }
+        // Bandwidth-over-time from the sampler's cumulative
+        // `net.bytes_total` series, differentiated between stamps.
+        let rate = out.m.bandwidth_rate_series();
         if xs.is_empty() {
-            xs = (0..out.m.traffic_per_second.len())
-                .map(|s| s as f64)
-                .collect();
+            xs = rate.iter().map(|&(s, _)| s).collect();
         }
-        let ys: Vec<f64> = out
-            .m
-            .traffic_per_second
-            .iter()
-            .map(|&b| b as f64 / 1_000_000.0)
-            .collect();
+        let ys: Vec<f64> = rate.iter().map(|&(_, b)| b / 1_000_000.0).collect();
         totals.push((scheme, out.m.total_traffic));
         series.push((scheme.name(), ys));
     }
@@ -74,6 +73,9 @@ fn main() {
             vec![("route_updates", Json::Bool(true))],
             &upd.m,
         );
+        if cli.timeseries {
+            emit_timeseries_json(&upd.m);
+        }
         return;
     }
     let adv_total = totals

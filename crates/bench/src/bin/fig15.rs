@@ -6,7 +6,9 @@
 //! metadata (existFlag, evid, equivalence-key hash) is a visible fraction
 //! of every message.
 
-use dpc_bench::{emit_run_json, print_series, print_table, run_dns, Cli, DnsConfig, Scheme};
+use dpc_bench::{
+    emit_run_json, emit_timeseries_json, print_series, print_table, run_dns, Cli, DnsConfig, Scheme,
+};
 use dpc_netsim::SimTime;
 
 fn main() {
@@ -29,18 +31,17 @@ fn main() {
         let out = run_dns(scheme, &cfg);
         if cli.json {
             emit_run_json("fig15", scheme.name(), &out.m);
+            if cli.timeseries {
+                emit_timeseries_json(&out.m);
+            }
         }
+        // Bandwidth-over-time from the sampler's cumulative
+        // `net.bytes_total` series, differentiated between stamps.
+        let rate = out.m.bandwidth_rate_series();
         if xs.is_empty() {
-            xs = (0..out.m.traffic_per_second.len())
-                .map(|s| s as f64)
-                .collect();
+            xs = rate.iter().map(|&(s, _)| s).collect();
         }
-        let ys: Vec<f64> = out
-            .m
-            .traffic_per_second
-            .iter()
-            .map(|&b| b as f64 / 1_000_000.0)
-            .collect();
+        let ys: Vec<f64> = rate.iter().map(|&(_, b)| b / 1_000_000.0).collect();
         totals.push((scheme.name(), out.m.total_traffic));
         series.push((scheme.name(), ys));
     }

@@ -104,6 +104,10 @@ fn run_generic<R: ProvRecorder>(cfg: &DnsConfig, make: impl FnOnce(usize) -> R) 
     rt.set_compiled_plans(cfg.compiled_plans);
     let telemetry = Telemetry::handle();
     telemetry.set_snapshot_every_nanos(cfg.snapshot_every.as_nanos());
+    telemetry.set_timeseries(
+        cfg.snapshot_every.as_nanos(),
+        dpc_telemetry::DEFAULT_SERIES_CAPACITY,
+    );
     rt.attach_telemetry(telemetry);
     // A single client (the root node's host role): equivalence classes are
     // then exactly the URLs, matching the paper's Figure 14 discussion.
@@ -124,18 +128,10 @@ fn run_generic<R: ProvRecorder>(cfg: &DnsConfig, make: impl FnOnce(usize) -> R) 
             .expect("valid url event");
     }
 
-    // Drive with snapshots.
+    // Drive to completion: storage-over-time comes from the sampler
+    // (enabled on the snapshot cadence above) instead of a hand-rolled
+    // stepping loop.
     let t0 = std::time::Instant::now();
-    let mut snapshots = Vec::new();
-    let mut t = SimTime::ZERO;
-    while t < cfg.duration {
-        t += cfg.snapshot_every;
-        rt.run_until(t).expect("run step");
-        let total_bytes: usize = (0..n)
-            .map(|i| rt.recorder().storage_at(NodeId(i as u32)))
-            .sum();
-        snapshots.push((t.whole_secs(), total_bytes));
-    }
     rt.run().expect("drain");
     let processing_secs = t0.elapsed().as_secs_f64();
     let duration = rt.now().max(cfg.duration);
@@ -143,6 +139,14 @@ fn run_generic<R: ProvRecorder>(cfg: &DnsConfig, make: impl FnOnce(usize) -> R) 
     let per_node_storage: Vec<usize> = (0..n)
         .map(|i| rt.recorder().storage_at(NodeId(i as u32)))
         .collect();
+    let telemetry = rt
+        .telemetry()
+        .cloned()
+        .expect("run_generic always attaches telemetry");
+    let snapshots = crate::snapshots_from_series(&crate::sum_timeseries(
+        &telemetry,
+        "recorder.storage_bytes#",
+    ));
     DnsRunOutput {
         m: RunMeasurements {
             per_node_storage,
@@ -153,10 +157,7 @@ fn run_generic<R: ProvRecorder>(cfg: &DnsConfig, make: impl FnOnce(usize) -> R) 
             outputs: rt.outputs().len(),
             rules_fired: rt.rules_fired(),
             duration,
-            telemetry: rt
-                .telemetry()
-                .cloned()
-                .expect("run_generic always attaches telemetry"),
+            telemetry,
         },
         injected: total,
         resolved: rt.outputs().len(),

@@ -137,6 +137,10 @@ pub(crate) fn prepare<R: ProvRecorder>(
     rt.set_compiled_plans(cfg.compiled_plans);
     let telemetry = Telemetry::handle();
     telemetry.set_snapshot_every_nanos(cfg.snapshot_every.as_nanos());
+    telemetry.set_timeseries(
+        cfg.snapshot_every.as_nanos(),
+        dpc_telemetry::DEFAULT_SERIES_CAPACITY,
+    );
     if cfg.trace_sample > 0 {
         telemetry.set_span_sampling(cfg.trace_sample);
     }
@@ -203,26 +207,26 @@ pub(crate) fn prepare<R: ProvRecorder>(
     (rt, injected)
 }
 
-/// Drive the run to completion, snapshotting storage along the way.
+/// Drive the run to completion. Storage-over-time comes from the
+/// time-series sampler (enabled on the snapshot cadence in [`prepare`]),
+/// which samples inside the event loop at deterministic virtual
+/// timestamps — no hand-rolled stepping loop.
 fn drive<R: ProvRecorder>(mut rt: Runtime<R>, cfg: &FwdConfig) -> (Runtime<R>, RunMeasurements) {
     let n = rt.net().node_count();
-    let mut snapshots = Vec::new();
-    let mut t = SimTime::ZERO;
-    while t < cfg.duration {
-        t += cfg.snapshot_every;
-        rt.run_until(t).expect("run step");
-        let total: usize = (0..n)
-            .map(|i| rt.recorder().storage_at(NodeId(i as u32)))
-            .sum();
-        snapshots.push((t.whole_secs(), total));
-    }
-    // Drain in-flight packets.
     rt.run().expect("drain");
     let duration = rt.now().max(cfg.duration);
 
     let per_node_storage: Vec<usize> = (0..n)
         .map(|i| rt.recorder().storage_at(NodeId(i as u32)))
         .collect();
+    let telemetry = rt
+        .telemetry()
+        .cloned()
+        .expect("prepare() always attaches telemetry");
+    let snapshots = crate::snapshots_from_series(&crate::sum_timeseries(
+        &telemetry,
+        "recorder.storage_bytes#",
+    ));
     let m = RunMeasurements {
         per_node_storage,
         snapshots,
@@ -232,10 +236,7 @@ fn drive<R: ProvRecorder>(mut rt: Runtime<R>, cfg: &FwdConfig) -> (Runtime<R>, R
         outputs: rt.outputs().len(),
         rules_fired: rt.rules_fired(),
         duration,
-        telemetry: rt
-            .telemetry()
-            .cloned()
-            .expect("prepare() always attaches telemetry"),
+        telemetry,
     };
     (rt, m)
 }

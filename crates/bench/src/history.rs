@@ -1,0 +1,327 @@
+//! Bench-history records and the regression gate behind
+//! `dpc-report bench-history`.
+//!
+//! The repo's perf memory is `BENCH_history.json`: a single JSON document
+//! `{"record":"bench_history","runs":[...]}` holding normalized run
+//! records (wall clock, bytes shipped, peak storage, index hit ratio).
+//! `--record` appends the current run; `--check` compares the current
+//! run against the *median* of the checked-in records with the same
+//! `(workload, scheme, config, seed)` key and fails on regression.
+//! Simulated metrics are deterministic, so their tolerance is tight; the
+//! wall clock depends on the machine, so its tolerance is generous.
+
+use dpc_telemetry::json::Json;
+
+/// One normalized benchmark run for one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Workload name (`fwd`, `dns`).
+    pub workload: String,
+    /// Scheme name (`ExSPAN`, `Basic`, `Advanced`).
+    pub scheme: String,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Workload-parameter fingerprint (e.g. `pairs=5,rate=5,dur=2s`);
+    /// records only compare against baselines with an identical one.
+    pub config: String,
+    /// Wall-clock seconds of the drive phase (machine-dependent).
+    pub wall_clock_secs: f64,
+    /// Total bytes on the wire (deterministic).
+    pub bytes_shipped: u64,
+    /// Peak total provenance storage in bytes (deterministic).
+    pub peak_storage_bytes: u64,
+    /// Secondary-index hit ratio, when the engine probed indexes.
+    pub index_hit_ratio: Option<f64>,
+}
+
+impl BenchRecord {
+    fn key(&self) -> (&str, &str, u64, &str) {
+        (&self.workload, &self.scheme, self.seed, &self.config)
+    }
+
+    /// Serialize as one JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::Str(self.workload.clone())),
+            ("scheme", Json::Str(self.scheme.clone())),
+            ("seed", Json::UInt(self.seed)),
+            ("config", Json::Str(self.config.clone())),
+            ("wall_clock_secs", Json::Float(self.wall_clock_secs)),
+            ("bytes_shipped", Json::UInt(self.bytes_shipped)),
+            ("peak_storage_bytes", Json::UInt(self.peak_storage_bytes)),
+            (
+                "index_hit_ratio",
+                self.index_hit_ratio.map_or(Json::Null, Json::Float),
+            ),
+        ])
+    }
+
+    /// Parse one record back from its JSON object.
+    pub fn from_json(j: &Json) -> Result<BenchRecord, String> {
+        let str_field = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("record missing string field `{k}`"))
+        };
+        let u64_field = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("record missing integer field `{k}`"))
+        };
+        Ok(BenchRecord {
+            workload: str_field("workload")?,
+            scheme: str_field("scheme")?,
+            seed: u64_field("seed")?,
+            config: str_field("config")?,
+            wall_clock_secs: j
+                .get("wall_clock_secs")
+                .and_then(Json::as_f64)
+                .ok_or("record missing `wall_clock_secs`")?,
+            bytes_shipped: u64_field("bytes_shipped")?,
+            peak_storage_bytes: u64_field("peak_storage_bytes")?,
+            index_hit_ratio: j.get("index_hit_ratio").and_then(Json::as_f64),
+        })
+    }
+}
+
+/// The whole `BENCH_history.json` document.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// All recorded runs, oldest first.
+    pub runs: Vec<BenchRecord>,
+}
+
+impl History {
+    /// Parse the history document (an empty/missing file parses as an
+    /// empty history via `History::default`).
+    pub fn parse(src: &str) -> Result<History, String> {
+        let doc = Json::parse(src)?;
+        if doc.get("record").and_then(Json::as_str) != Some("bench_history") {
+            return Err("not a bench_history document".to_string());
+        }
+        let runs = doc
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or("bench_history document missing `runs` array")?
+            .iter()
+            .map(BenchRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(History { runs })
+    }
+
+    /// Serialize the whole document (pretty enough for diffs: one run
+    /// per line).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\"record\":\"bench_history\",\"runs\":[\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            out.push_str(&r.to_json().to_string());
+            if i + 1 < self.runs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Gate tolerances, as fractions of the baseline median.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// For the deterministic metrics (bytes shipped, peak storage, index
+    /// hit ratio). The sim is deterministic, so regressions here are real
+    /// behavior changes; keep this tight.
+    pub metric: f64,
+    /// For wall clock, which varies with the machine and its load.
+    pub wall_clock: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            metric: 0.10,
+            wall_clock: 2.0,
+        }
+    }
+}
+
+/// Outcome of one gate run.
+#[derive(Debug, Default)]
+pub struct GateResult {
+    /// Human-readable regression descriptions; empty means the gate
+    /// passes.
+    pub failures: Vec<String>,
+    /// Metric comparisons performed.
+    pub compared: usize,
+    /// Current records with no matching baseline (not a failure: a new
+    /// workload/config has no history yet).
+    pub skipped: Vec<String>,
+}
+
+impl GateResult {
+    /// Did the gate pass?
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Compare `current` records against the medians of their matching
+/// baseline records in `history`. Bytes shipped, peak storage and wall
+/// clock regress *upward* (current must stay under `median * (1 + tol)`);
+/// the index hit ratio regresses *downward* (current must stay above
+/// `median * (1 - tol)`).
+pub fn check(history: &History, current: &[BenchRecord], tol: Tolerance) -> GateResult {
+    let mut res = GateResult::default();
+    for c in current {
+        let base: Vec<&BenchRecord> = history.runs.iter().filter(|r| r.key() == c.key()).collect();
+        if base.is_empty() {
+            res.skipped
+                .push(format!("{}/{}: no baseline records", c.workload, c.scheme));
+            continue;
+        }
+        let who = format!("{}/{}", c.workload, c.scheme);
+        let mut upward = |name: &str, cur: f64, baseline: Vec<f64>, t: f64| {
+            let med = median(baseline);
+            res.compared += 1;
+            if cur > med * (1.0 + t) {
+                res.failures.push(format!(
+                    "{who}: {name} regressed: {cur} > median {med} * (1 + {t})"
+                ));
+            }
+        };
+        upward(
+            "bytes_shipped",
+            c.bytes_shipped as f64,
+            base.iter().map(|r| r.bytes_shipped as f64).collect(),
+            tol.metric,
+        );
+        upward(
+            "peak_storage_bytes",
+            c.peak_storage_bytes as f64,
+            base.iter().map(|r| r.peak_storage_bytes as f64).collect(),
+            tol.metric,
+        );
+        upward(
+            "wall_clock_secs",
+            c.wall_clock_secs,
+            base.iter().map(|r| r.wall_clock_secs).collect(),
+            tol.wall_clock,
+        );
+        let base_ratios: Vec<f64> = base.iter().filter_map(|r| r.index_hit_ratio).collect();
+        if let (Some(cur), false) = (c.index_hit_ratio, base_ratios.is_empty()) {
+            let med = median(base_ratios);
+            res.compared += 1;
+            if cur < med * (1.0 - tol.metric) {
+                res.failures.push(format!(
+                    "{who}: index_hit_ratio regressed: {cur} < median {med} * (1 - {})",
+                    tol.metric
+                ));
+            }
+        }
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(scheme: &str, bytes: u64, storage: u64, wall: f64, ratio: Option<f64>) -> BenchRecord {
+        BenchRecord {
+            workload: "fwd".into(),
+            scheme: scheme.into(),
+            seed: 42,
+            config: "pairs=5,rate=5,dur=2s".into(),
+            wall_clock_secs: wall,
+            bytes_shipped: bytes,
+            peak_storage_bytes: storage,
+            index_hit_ratio: ratio,
+        }
+    }
+
+    #[test]
+    fn history_round_trips() {
+        let h = History {
+            runs: vec![
+                rec("ExSPAN", 1000, 500, 0.1, None),
+                rec("Advanced", 1100, 100, 0.2, Some(0.9)),
+            ],
+        };
+        let parsed = History::parse(&h.to_json_string()).unwrap();
+        assert_eq!(parsed.runs, h.runs);
+        assert!(History::parse("{\"record\":\"other\"}").is_err());
+        assert!(History::parse("[]").is_err());
+    }
+
+    #[test]
+    fn identical_run_passes_gate() {
+        let h = History {
+            runs: vec![
+                rec("ExSPAN", 1000, 500, 0.1, Some(0.9)),
+                rec("ExSPAN", 1000, 500, 0.3, Some(0.9)),
+            ],
+        };
+        let res = check(
+            &h,
+            &[rec("ExSPAN", 1000, 500, 0.2, Some(0.9))],
+            Tolerance::default(),
+        );
+        assert!(res.passed(), "{:?}", res.failures);
+        assert_eq!(res.compared, 4);
+        assert!(res.skipped.is_empty());
+    }
+
+    #[test]
+    fn regressions_fail_gate() {
+        let h = History {
+            runs: vec![rec("ExSPAN", 1000, 500, 0.1, Some(0.9))],
+        };
+        let tol = Tolerance::default();
+        // +20% bytes shipped: fail.
+        let res = check(&h, &[rec("ExSPAN", 1200, 500, 0.1, Some(0.9))], tol);
+        assert_eq!(res.failures.len(), 1, "{:?}", res.failures);
+        assert!(res.failures[0].contains("bytes_shipped"));
+        // +20% storage: fail.
+        let res = check(&h, &[rec("ExSPAN", 1000, 600, 0.1, Some(0.9))], tol);
+        assert!(res.failures[0].contains("peak_storage_bytes"));
+        // Hit ratio drop beyond tolerance: fail.
+        let res = check(&h, &[rec("ExSPAN", 1000, 500, 0.1, Some(0.5))], tol);
+        assert!(res.failures[0].contains("index_hit_ratio"));
+        // Wall clock doubles: pass (generous tolerance).
+        let res = check(&h, &[rec("ExSPAN", 1000, 500, 0.2, Some(0.9))], tol);
+        assert!(res.passed(), "{:?}", res.failures);
+        // Wall clock 4x median: fail.
+        let res = check(&h, &[rec("ExSPAN", 1000, 500, 0.4, Some(0.9))], tol);
+        assert!(res.failures[0].contains("wall_clock_secs"));
+    }
+
+    #[test]
+    fn unmatched_records_are_skipped_not_failed() {
+        let h = History {
+            runs: vec![rec("ExSPAN", 1000, 500, 0.1, None)],
+        };
+        let mut other = rec("ExSPAN", 9999, 9999, 9.9, None);
+        other.config = "different".into();
+        let res = check(&h, &[other], Tolerance::default());
+        assert!(res.passed());
+        assert_eq!(res.skipped.len(), 1);
+        assert_eq!(res.compared, 0);
+    }
+
+    #[test]
+    fn median_of_even_and_odd_counts() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod dnsrun;
 pub mod fwdrun;
+pub mod history;
 #[cfg(feature = "microbench")]
 pub mod microbench;
 pub mod report;
@@ -23,6 +24,7 @@ pub use dnsrun::{run_dns, DnsConfig, DnsRunOutput};
 pub use fwdrun::{
     forwarding_query_latencies, run_forwarding, simulated_query_means, FwdConfig, FwdRunOutput,
 };
+pub use history::{BenchRecord, GateResult, History, Tolerance};
 pub use tracerun::{
     aggregate_breakdown, print_trace_report, query_summaries, run_traced_queries,
     span_histograms_json, trace_summary_json, QuerySummary, TraceRunOutput,
@@ -57,8 +59,8 @@ pub fn run_dns_schemes(cfg: &DnsConfig, schemes: &[Scheme]) -> Vec<(Scheme, DnsR
     })
 }
 pub use report::{
-    emit_run_json, emit_run_json_with, print_cdf, print_series, print_table, run_json,
-    run_json_with,
+    emit_run_json, emit_run_json_with, emit_timeseries_json, print_cdf, print_series, print_table,
+    run_json, run_json_with,
 };
 
 // The scheme enum (and its boxed-recorder factory) lives in `dpc-core`;
@@ -125,6 +127,94 @@ impl RunMeasurements {
         self.telemetry
             .counter_total(dpc_telemetry::counters::PLANS_COMPILED)
     }
+
+    /// Secondary-index hit ratio in `[0, 1]`, or `None` when no probes
+    /// ran (e.g. the naive interpreter path).
+    pub fn index_hit_ratio(&self) -> Option<f64> {
+        let (h, m) = self.index_hits_misses();
+        if h + m == 0 {
+            None
+        } else {
+            Some(h as f64 / (h + m) as f64)
+        }
+    }
+
+    /// Total provenance storage over simulated time as `(t_ns, bytes)`,
+    /// from the sampler's per-node `recorder.storage_bytes#n` series
+    /// (empty when time-series sampling was off or the scheme records no
+    /// provenance).
+    pub fn storage_series(&self) -> Vec<(u64, f64)> {
+        sum_timeseries(&self.telemetry, "recorder.storage_bytes#")
+    }
+
+    /// Cumulative bytes on the wire over simulated time as
+    /// `(t_ns, bytes)`, from the sampler's `net.bytes_total` series.
+    pub fn bandwidth_series(&self) -> Vec<(u64, f64)> {
+        self.telemetry
+            .timeseries_get("net.bytes_total")
+            .unwrap_or_default()
+    }
+
+    /// Bandwidth over simulated time as `(second, bytes/s)` rows,
+    /// differentiating the cumulative [`RunMeasurements::bandwidth_series`]
+    /// between adjacent sampling stamps.
+    pub fn bandwidth_rate_series(&self) -> Vec<(f64, f64)> {
+        let mut prev = (0u64, 0.0f64);
+        let mut out = Vec::new();
+        for (t, v) in self.bandwidth_series() {
+            let dt = (t - prev.0) as f64 / 1e9;
+            if dt > 0.0 {
+                out.push((t as f64 / 1e9, (v - prev.1) / dt));
+            }
+            prev = (t, v);
+        }
+        out
+    }
+}
+
+/// Sum every sampled series whose key starts with `prefix` (per-node
+/// gauges like `recorder.storage_bytes#`) into one total series at the
+/// union of their stamps, carrying each component's last value forward —
+/// nodes sample only when they mutate, so at any given stamp some
+/// components just hold their previous value.
+pub fn sum_timeseries(telemetry: &TelemetryHandle, prefix: &str) -> Vec<(u64, f64)> {
+    let series: Vec<Vec<(u64, f64)>> = telemetry
+        .timeseries()
+        .into_iter()
+        .filter_map(|(k, pts)| k.starts_with(prefix).then_some(pts))
+        .collect();
+    let mut stamps: Vec<u64> = series.iter().flatten().map(|&(t, _)| t).collect();
+    stamps.sort_unstable();
+    stamps.dedup();
+    let mut idx = vec![0usize; series.len()];
+    let mut held = vec![0.0f64; series.len()];
+    let mut out = Vec::with_capacity(stamps.len());
+    for &t in &stamps {
+        for (i, s) in series.iter().enumerate() {
+            while idx[i] < s.len() && s[idx[i]].0 <= t {
+                held[i] = s[idx[i]].1;
+                idx[i] += 1;
+            }
+        }
+        out.push((t, held.iter().sum()));
+    }
+    out
+}
+
+/// Collapse a `(t_ns, bytes)` storage series into the legacy
+/// `(second, bytes)` snapshot shape: one entry per distinct simulated
+/// second, keeping the last sample within each second.
+pub fn snapshots_from_series(series: &[(u64, f64)]) -> Vec<(u64, usize)> {
+    let mut out: Vec<(u64, usize)> = Vec::new();
+    for &(t_ns, v) in series {
+        let sec = t_ns / 1_000_000_000;
+        let bytes = v as usize;
+        match out.last_mut() {
+            Some(last) if last.0 == sec => last.1 = bytes,
+            _ => out.push((sec, bytes)),
+        }
+    }
+    out
 }
 
 impl RunMeasurements {
@@ -158,6 +248,9 @@ pub struct Cli {
     /// Head-based sampling rate for execution traces: trace 1 in every
     /// `trace_sample` executions (1 = everything).
     pub trace_sample: u64,
+    /// Emit the sampled time series (JSON-lines `series` records after
+    /// the run record; implies `--json`-style machine output for them).
+    pub timeseries: bool,
 }
 
 impl Default for Cli {
@@ -168,6 +261,7 @@ impl Default for Cli {
             json: false,
             trace: false,
             trace_sample: 1,
+            timeseries: false,
         }
     }
 }
@@ -179,7 +273,7 @@ impl Cli {
             Ok(cli) => cli,
             Err(msg) => {
                 eprintln!(
-                    "{msg}\nusage: [--paper-scale] [--seed <n>] [--json] [--trace] [--trace-sample <n>]"
+                    "{msg}\nusage: [--paper-scale] [--seed <n>] [--json] [--trace] [--trace-sample <n>] [--timeseries]"
                 );
                 std::process::exit(2);
             }
@@ -200,6 +294,7 @@ impl Cli {
                 "--paper-scale" => cli.paper_scale = true,
                 "--json" => cli.json = true,
                 "--trace" => cli.trace = true,
+                "--timeseries" => cli.timeseries = true,
                 "--trace-sample" => {
                     cli.trace = true;
                     cli.trace_sample = args
@@ -247,6 +342,8 @@ mod tests {
         let cli = Cli::parse_from(["--trace-sample", "8"]).unwrap();
         assert!(cli.trace);
         assert_eq!(cli.trace_sample, 8);
+        assert!(!cli.timeseries);
+        assert!(Cli::parse_from(["--timeseries"]).unwrap().timeseries);
         assert!(Cli::parse_from(["--trace-sample", "0"]).is_err());
         assert!(Cli::parse_from(["--trace-sample"]).is_err());
         assert!(Cli::parse_from(["--seed"]).is_err());
@@ -281,6 +378,58 @@ mod tests {
             assert_eq!(out.m.total_traffic, seq.m.total_traffic);
             assert_eq!(out.m.outputs, seq.m.outputs);
         }
+    }
+
+    /// The sampler is deterministic end to end: two runs with the same
+    /// seed and cadence produce byte-identical JSON-lines exports (same
+    /// keys, same aligned stamps, same values — no wall-clock leakage).
+    #[test]
+    fn sampler_export_is_deterministic_across_runs() {
+        let cfg = FwdConfig {
+            pairs: 3,
+            rate_per_pair: 4.0,
+            duration: SimTime::from_secs(1),
+            ..FwdConfig::default()
+        };
+        for scheme in [Scheme::Exspan, Scheme::Advanced] {
+            let a = run_forwarding(scheme, &cfg);
+            let b = run_forwarding(scheme, &cfg);
+            let ja = a.m.telemetry.timeseries_json_lines();
+            assert_eq!(
+                ja,
+                b.m.telemetry.timeseries_json_lines(),
+                "{}",
+                scheme.name()
+            );
+            assert!(!ja.is_empty(), "{} sampled nothing", scheme.name());
+            assert_eq!(
+                a.m.telemetry.timeseries_csv(),
+                b.m.telemetry.timeseries_csv()
+            );
+        }
+    }
+
+    #[test]
+    fn sum_timeseries_carries_values_forward() {
+        let t = dpc_telemetry::Telemetry::handle();
+        t.set_timeseries(1, 64);
+        // Node 0 samples at 1000 and 3000; node 1 only at 2000.
+        t.ts_record(1000, "recorder.storage_bytes#0", 10.0);
+        t.ts_record(2000, "recorder.storage_bytes#1", 5.0);
+        t.ts_record(3000, "recorder.storage_bytes#0", 20.0);
+        t.ts_record(3000, "unrelated.series", 99.0);
+        let total = sum_timeseries(&t, "recorder.storage_bytes#");
+        assert_eq!(total, vec![(1000, 10.0), (2000, 15.0), (3000, 25.0)]);
+    }
+
+    #[test]
+    fn snapshots_collapse_to_seconds_keeping_last() {
+        let series = vec![
+            (1_000_000_000, 10.0),
+            (2_000_000_000, 20.0),
+            (2_500_000_000, 30.0), // same second: keeps the later value
+        ];
+        assert_eq!(snapshots_from_series(&series), vec![(1, 10), (2, 30)]);
     }
 
     #[test]

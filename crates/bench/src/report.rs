@@ -76,6 +76,10 @@ pub fn run_json_with(
         ),
         ("index_hits", Json::UInt(index_hits)),
         ("index_misses", Json::UInt(index_misses)),
+        (
+            "index_hit_ratio",
+            m.index_hit_ratio().map_or(Json::Null, Json::Float),
+        ),
         ("plans_compiled", Json::UInt(m.plans_compiled())),
         ("duration_secs", Json::Float(m.duration.as_secs_f64())),
     ]);
@@ -99,6 +103,16 @@ pub fn emit_run_json_with(
     let snaps = m.telemetry.to_json_lines();
     if !snaps.is_empty() {
         print!("{snaps}");
+    }
+}
+
+/// Print the run's sampled time series as JSON-lines `series` records
+/// (one per series key; empty output when sampling was off). Figure
+/// binaries call this under `--timeseries`.
+pub fn emit_timeseries_json(m: &RunMeasurements) {
+    let series = m.telemetry.timeseries_json_lines();
+    if !series.is_empty() {
+        print!("{series}");
     }
 }
 
@@ -182,7 +196,7 @@ mod tests {
         let line = run_json("fig08", "ExSPAN", &m).to_string();
         assert_eq!(
             line,
-            r#"{"record":"run","figure":"fig08","scheme":"ExSPAN","per_node_storage_bytes":[10,20],"per_link_bytes":[{"a":0,"b":1,"bytes":7}],"storage_snapshots":[[1,5],[2,30]],"total_traffic_bytes":7,"outputs":2,"rules_fired":4,"htequi_hits":0,"htequi_misses":0,"htequi_hit_rate":null,"index_hits":0,"index_misses":0,"plans_compiled":0,"duration_secs":2}"#
+            r#"{"record":"run","figure":"fig08","scheme":"ExSPAN","per_node_storage_bytes":[10,20],"per_link_bytes":[{"a":0,"b":1,"bytes":7}],"storage_snapshots":[[1,5],[2,30]],"total_traffic_bytes":7,"outputs":2,"rules_fired":4,"htequi_hits":0,"htequi_misses":0,"htequi_hit_rate":null,"index_hits":0,"index_misses":0,"index_hit_ratio":null,"plans_compiled":0,"duration_secs":2}"#
         );
     }
 

@@ -136,6 +136,13 @@ impl AdvancedRecorder {
             Some(node.0),
             self.storage_at(node) as i64,
         );
+        let n = &self.nodes[node.index()];
+        t.gauge(
+            "recorder.htequi_classes",
+            Some(node.0),
+            n.htequi.len() as i64,
+        );
+        t.gauge("recorder.hmap_entries", Some(node.0), n.hmap.len() as i64);
     }
 
     /// The equivalence keys in use.

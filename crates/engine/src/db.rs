@@ -262,6 +262,13 @@ impl Database {
         self.tables.values().map(Table::len).sum()
     }
 
+    /// Estimated wire-format bytes of all current rows (sum of the
+    /// tables' [`StorageSize`]), the database-side analogue of the
+    /// recorders' storage estimate.
+    pub fn estimated_bytes(&self) -> usize {
+        self.tables.values().map(StorageSize::storage_size).sum()
+    }
+
     /// Is the database empty?
     pub fn is_empty(&self) -> bool {
         self.len() == 0

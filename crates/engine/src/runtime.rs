@@ -576,6 +576,9 @@ impl<R: ProvRecorder> Runtime<R> {
         if let Some(t) = &self.telemetry {
             t.close_open_spans(self.sim.now().as_nanos());
         }
+        // The series always end at the drained terminal state (idempotent
+        // if the drain coincides with the last periodic tick).
+        self.sample_timeseries_now();
         Ok(())
     }
 
@@ -587,9 +590,52 @@ impl<R: ProvRecorder> Runtime<R> {
         Ok(())
     }
 
+    /// Record the engine layer's time-series gauges at sampling stamp
+    /// `stamp`: pending delta-queue depth (the event heap drives rule
+    /// re-evaluation), per-node table cardinality and estimated bytes,
+    /// then the network layer's series ([`Sim::record_timeseries`]).
+    /// Registry gauges (recorder table sizes, equivalence-table state,
+    /// `engine.db_rows`) and derived ratios (`engine.index_hit_ratio`,
+    /// `recorder.htequi_hit_rate`) were already copied by the sampler
+    /// itself when the tick fired.
+    fn record_timeseries(&self, stamp: u64) {
+        let Some(t) = &self.telemetry else {
+            return;
+        };
+        let mut entries: Vec<(String, f64)> = vec![(
+            "engine.pending_deltas".to_string(),
+            self.sim.pending() as f64,
+        )];
+        for (i, db) in self.dbs.iter().enumerate() {
+            entries.push((format!("engine.table_rows#{i}"), db.len() as f64));
+            entries.push((
+                format!("engine.table_bytes#{i}"),
+                db.estimated_bytes() as f64,
+            ));
+        }
+        t.ts_record_all(stamp, entries);
+        self.sim.record_timeseries(stamp);
+    }
+
+    /// Force a time-series sample at the current simulated time,
+    /// regardless of the cadence (no-op when sampling is disabled). Called
+    /// automatically at the end of [`Runtime::run`]; bench drivers that
+    /// stop at a deadline via [`Runtime::run_until`] can call it to close
+    /// out the series.
+    pub fn sample_timeseries_now(&self) {
+        if let Some(t) = &self.telemetry {
+            if let Some(stamp) = t.sample_now(self.sim.now().as_nanos()) {
+                self.record_timeseries(stamp);
+            }
+        }
+    }
+
     fn handle(&mut self, at: SimTime, node: NodeId, msg: Msg, ctx: SpanContext) -> Result<()> {
         if let Some(t) = &self.telemetry {
             t.maybe_snapshot(at.as_nanos());
+            if let Some(stamp) = t.sample_tick(at.as_nanos()) {
+                self.record_timeseries(stamp);
+            }
         }
         match msg {
             Msg::Event { tuple, meta } => self.handle_event(at, node, tuple, meta, ctx),
@@ -938,6 +984,56 @@ mod tests {
         let pkt_bytes = packet(1, 0, 2, "data").storage_size();
         let expected = 2 * (pkt_bytes + 1 + RuntimeConfig::default().header_bytes);
         assert_eq!(rt.stats().total_bytes(), expected as u64);
+    }
+
+    #[test]
+    fn run_with_timeseries_samples_all_layers() {
+        let t = dpc_telemetry::Telemetry::handle();
+        t.set_timeseries(SimTime::from_millis(1).as_nanos(), 256);
+        let net = topo::line(3, Link::STUB_STUB);
+        let mut rt = RuntimeBuilder::new(programs::packet_forwarding(), net)
+            .telemetry(t.clone())
+            .build()
+            .unwrap();
+        rt.install(route(0, 2, 1)).unwrap();
+        rt.install(route(1, 2, 2)).unwrap();
+        for i in 0..5 {
+            rt.inject_at(
+                packet(0, 0, 2, &format!("p{i}")),
+                SimTime::from_millis(i * 5),
+            )
+            .unwrap();
+        }
+        rt.run().unwrap();
+        // Engine-layer series exist for every node and end at the drained
+        // terminal state: all tables quiescent, heap empty.
+        for i in 0..3 {
+            let rows = t.timeseries_get(&format!("engine.table_rows#{i}")).unwrap();
+            assert!(!rows.is_empty());
+            let bytes = t
+                .timeseries_get(&format!("engine.table_bytes#{i}"))
+                .unwrap();
+            assert_eq!(rows.len(), bytes.len());
+        }
+        let pending = t.timeseries_get("engine.pending_deltas").unwrap();
+        assert_eq!(pending.last().unwrap().1, 0.0, "drained at the end");
+        let heap = t.timeseries_get("net.heap_depth").unwrap();
+        assert_eq!(heap.last().unwrap().1, 0.0);
+        // Network-layer cumulative bytes are monotone non-decreasing.
+        let bytes = t.timeseries_get("net.bytes_total").unwrap();
+        assert!(bytes.windows(2).all(|w| w[0].1 <= w[1].1), "{bytes:?}");
+        assert!(bytes.last().unwrap().1 > 0.0);
+        // The index hit ratio rides along as a derived gauge (compiled
+        // plans are on by default and this workload probes indexes).
+        assert!(t.timeseries_get("engine.index_hit_ratio").is_some());
+        // Stamps are aligned to the cadence except possibly the final
+        // forced sample.
+        let every = SimTime::from_millis(1).as_nanos();
+        for (i, &(stamp, _)) in pending.iter().enumerate() {
+            if i + 1 < pending.len() {
+                assert_eq!(stamp % every, 0, "aligned stamp {stamp}");
+            }
+        }
     }
 
     #[test]

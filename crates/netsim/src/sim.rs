@@ -75,6 +75,9 @@ pub struct Sim<M> {
     heap: BinaryHeap<Reverse<Pending<M>>>,
     /// Next instant each directed link is free to start transmitting.
     link_free: HashMap<(NodeId, NodeId), SimTime>,
+    /// Cumulative transmission time charged per directed link,
+    /// nanoseconds (drives the utilization time series).
+    link_busy: HashMap<(NodeId, NodeId), u64>,
     /// Fault injection (see [`Sim::inject_loss`]).
     loss: HashMap<(NodeId, NodeId), Loss>,
     dropped: u64,
@@ -91,6 +94,7 @@ impl<M> Sim<M> {
             seq: 0,
             heap: BinaryHeap::new(),
             link_free: HashMap::new(),
+            link_busy: HashMap::new(),
             loss: HashMap::new(),
             dropped: 0,
             stats: TrafficStats::new(),
@@ -261,6 +265,7 @@ impl<M> Sim<M> {
             .max(self.now);
         let tx_done = free + link.transmission_delay(bytes);
         self.link_free.insert((src, dst), tx_done);
+        *self.link_busy.entry((src, dst)).or_insert(0) += tx_done.as_nanos() - free.as_nanos();
         let at = tx_done + link.latency;
         self.stats.record(self.now, src, dst, bytes);
         self.record_hop(
@@ -323,6 +328,8 @@ impl<M> Sim<M> {
                 .max(t);
             let tx_done = free + link.transmission_delay(bytes);
             self.link_free.insert((w[0], w[1]), tx_done);
+            *self.link_busy.entry((w[0], w[1])).or_insert(0) +=
+                tx_done.as_nanos() - free.as_nanos();
             self.stats.record(t, w[0], w[1], bytes);
             self.record_hop(
                 w[0],
@@ -406,6 +413,49 @@ impl<M> Sim<M> {
             msg: p.msg,
             span: p.span,
         })
+    }
+
+    /// Record the network layer's time-series gauges at sampling stamp
+    /// `stamp` (from [`dpc_telemetry::Telemetry::sample_tick`] /
+    /// `sample_now`): event-heap depth, cumulative bytes on the wire,
+    /// per-directed-link queue backlog (nanoseconds until the link is
+    /// free) and utilization (busy time over elapsed simulated time,
+    /// clamped to 1.0 — transmission time is charged at send time for
+    /// the future, so it can momentarily exceed the elapsed clock), and
+    /// per-undirected-link cumulative bytes. No-op when the telemetry
+    /// sink is absent or sampling is disabled.
+    pub fn record_timeseries(&self, stamp: u64) {
+        let Some(t) = &self.telemetry else {
+            return;
+        };
+        let mut entries: Vec<(String, f64)> = vec![
+            ("net.heap_depth".to_string(), self.heap.len() as f64),
+            (
+                "net.bytes_total".to_string(),
+                self.stats.total_bytes() as f64,
+            ),
+        ];
+        let now = self.now.as_nanos();
+        let mut links: Vec<_> = self.link_free.iter().collect();
+        links.sort_by_key(|(&(a, b), _)| (a.0, b.0));
+        for (&(a, b), &free) in links {
+            let backlog = free.as_nanos().saturating_sub(now);
+            entries.push((
+                format!("net.link_backlog_ns#{}->{}", a.0, b.0),
+                backlog as f64,
+            ));
+            let busy = self.link_busy.get(&(a, b)).copied().unwrap_or(0);
+            let util = if stamp == 0 {
+                0.0
+            } else {
+                (busy as f64 / stamp as f64).min(1.0)
+            };
+            entries.push((format!("net.link_util#{}->{}", a.0, b.0), util));
+        }
+        for ((a, b), bytes) in self.stats.per_link_totals() {
+            entries.push((format!("net.link_bytes#{}-{}", a.0, b.0), bytes as f64));
+        }
+        t.ts_record_all(stamp, entries);
     }
 
     /// Pop the next delivery only if it occurs at or before `deadline`.
@@ -564,6 +614,39 @@ mod tests {
         assert_eq!(sim.stats().link_bytes(n(0), n(1)), 150);
     }
 
+    /// Accounting boundary: on a multi-hop run, the per-link totals are a
+    /// complete partition of the global byte count — nothing is double
+    /// counted across hops and nothing escapes attribution.
+    #[test]
+    fn per_link_bytes_partition_global_total() {
+        // 4-node line; every routed send crosses 1..=3 links.
+        let mut net = Network::with_nodes(4);
+        let l = Link::new(SimTime::from_millis(1), 8_000);
+        for i in 0..3 {
+            net.add_link(n(i), n(i + 1), l).unwrap();
+        }
+        let mut sim = Sim::new(net);
+        sim.send_routed(n(0), n(3), 100, "far").unwrap(); // 3 hops
+        sim.send_routed(n(3), n(1), 40, "back").unwrap(); // 2 hops
+        sim.send_routed(n(1), n(2), 7, "near").unwrap(); // 1 hop
+        sim.send(n(2), n(3), 11, "direct").unwrap();
+        let per_link: u64 = sim.stats().per_link_totals().iter().map(|&(_, b)| b).sum();
+        assert_eq!(per_link, sim.stats().total_bytes());
+        assert_eq!(sim.stats().total_bytes(), 3 * 100 + 2 * 40 + 7 + 11);
+        // The sampled per-link series agree with the same partition.
+        let telemetry = dpc_telemetry::Telemetry::handle();
+        sim.set_telemetry(telemetry.clone());
+        telemetry.set_timeseries(1_000_000, 64);
+        sim.record_timeseries(1_000_000);
+        let sampled: f64 = telemetry
+            .timeseries()
+            .iter()
+            .filter(|(k, _)| k.starts_with("net.link_bytes#"))
+            .map(|(_, pts)| pts.last().expect("sampled").1)
+            .sum();
+        assert_eq!(sampled as u64, sim.stats().total_bytes());
+    }
+
     #[test]
     fn loss_injection_drops_every_nth() {
         let mut sim = two_node_sim();
@@ -709,6 +792,39 @@ mod tests {
         let d = sim.pop().unwrap();
         assert_eq!(d.span, SpanContext::NONE);
         assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn timeseries_records_network_gauges() {
+        let t = dpc_telemetry::Telemetry::handle();
+        t.set_timeseries(1_000_000, 64); // 1 ms cadence
+        let mut sim = two_node_sim();
+        sim.set_telemetry(t.clone());
+        sim.send(n(0), n(1), 1, "a").unwrap(); // 1 ms tx + 1 ms latency
+        sim.send(n(0), n(1), 1, "b").unwrap();
+        let stamp = SimTime::from_millis(1).as_nanos();
+        sim.record_timeseries(stamp);
+        assert_eq!(
+            t.timeseries_get("net.heap_depth").unwrap(),
+            vec![(stamp, 2.0)]
+        );
+        assert_eq!(
+            t.timeseries_get("net.bytes_total").unwrap(),
+            vec![(stamp, 2.0)]
+        );
+        // Two back-to-back 1-ms transmissions: 2 ms busy at a 1 ms stamp
+        // clamps to full utilization; the second transmission is still
+        // queued so the directed link has backlog.
+        assert_eq!(
+            t.timeseries_get("net.link_util#0->1").unwrap(),
+            vec![(stamp, 1.0)]
+        );
+        let backlog = t.timeseries_get("net.link_backlog_ns#0->1").unwrap()[0].1;
+        assert!(backlog > 0.0, "second send still transmitting: {backlog}");
+        assert_eq!(
+            t.timeseries_get("net.link_bytes#0-1").unwrap(),
+            vec![(stamp, 2.0)]
+        );
     }
 
     #[test]

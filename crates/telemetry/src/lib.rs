@@ -36,6 +36,7 @@
 pub mod chrome;
 pub mod json;
 pub mod span;
+pub mod timeseries;
 
 /// Well-known counter names emitted by the engine's evaluation hot path.
 ///
@@ -64,6 +65,7 @@ pub use span::{
     check_well_formed, critical_path, duration_histograms, spans_by_trace, AttrValue, Breakdown,
     Category, SpanContext, SpanId, SpanRecord, TraceId,
 };
+pub use timeseries::{Sampler, Series, SeriesStore, DEFAULT_SERIES_CAPACITY};
 
 use std::collections::BTreeMap;
 use std::collections::{HashMap, VecDeque};
@@ -200,6 +202,9 @@ struct Inner {
     /// (children of already-sampled traces still record, so no sampled
     /// tree is ever truncated mid-way).
     span_cap: usize,
+    /// Time-series sampling state (see [`Telemetry::set_timeseries`]);
+    /// `None` until enabled.
+    sampler: Option<Sampler>,
 }
 
 /// A frozen copy of the metrics registry at one simulated instant.
@@ -211,6 +216,10 @@ pub struct Snapshot {
     pub counters: BTreeMap<(String, Option<u32>), u64>,
     /// Gauge values.
     pub gauges: BTreeMap<(String, Option<u32>), i64>,
+    /// Derived ratio gauges computed from the counters at freeze time
+    /// (e.g. `engine.index_hit_ratio`); only present when their
+    /// denominators are nonzero.
+    pub derived: BTreeMap<String, f64>,
     /// Histogram aggregates.
     pub hists: BTreeMap<(String, Option<u32>), Histogram>,
 }
@@ -219,9 +228,10 @@ impl Snapshot {
     /// Serialize as one JSON object (one line of JSON-lines output).
     ///
     /// Schema: `{"type":"snapshot","t_ns":N,"counters":{...},"gauges":
-    /// {...},"hists":{...}}` where each metric map is keyed `name` for
-    /// global metrics and `name#<node>` for per-node ones, in sorted
-    /// order; histogram values are
+    /// {...},"derived":{...},"hists":{...}}` where each metric map is
+    /// keyed `name` for global metrics and `name#<node>` for per-node
+    /// ones, in sorted order; `derived` holds the freeze-time ratio
+    /// gauges; histogram values are
     /// `{"count":N,"sum":N,"min":N,"max":N,"mean":F}`.
     pub fn to_json(&self) -> Json {
         let counters = Json::Obj(
@@ -253,11 +263,18 @@ impl Snapshot {
                 })
                 .collect(),
         );
+        let derived = Json::Obj(
+            self.derived
+                .iter()
+                .map(|(name, v)| (name.clone(), Json::Float(*v)))
+                .collect(),
+        );
         Json::obj([
             ("type", Json::Str("snapshot".into())),
             ("t_ns", Json::UInt(self.at_nanos)),
             ("counters", counters),
             ("gauges", gauges),
+            ("derived", derived),
             ("hists", hists),
         ])
     }
@@ -608,6 +625,130 @@ impl Telemetry {
         }
         out
     }
+
+    // --- Time-series sampling ------------------------------------------
+
+    /// Enable time-series sampling every `every_nanos` of simulated time
+    /// with per-series point capacity `capacity` (see
+    /// [`timeseries::Sampler`]). Replaces any existing sampler and its
+    /// accumulated series.
+    pub fn set_timeseries(&self, every_nanos: u64, capacity: usize) {
+        self.lock().sampler = Some(Sampler::new(every_nanos, capacity));
+    }
+
+    /// Is time-series sampling enabled?
+    pub fn timeseries_enabled(&self) -> bool {
+        self.lock().sampler.is_some()
+    }
+
+    /// Offer the sampler the current simulated time. If a sampling tick
+    /// is due, copies every registry gauge (keyed `name` / `name#node`)
+    /// plus the derived ratio gauges into the series store at the aligned
+    /// tick timestamp and returns that stamp so callers can record their
+    /// own layer-specific series at the same instant. Returns `None` when
+    /// sampling is disabled or no tick is due.
+    pub fn sample_tick(&self, now_nanos: u64) -> Option<u64> {
+        let mut g = self.lock();
+        let stamp = g.sampler.as_mut()?.due(now_nanos)?;
+        sample_registry(&mut g, stamp);
+        Some(stamp)
+    }
+
+    /// Sample the registry unconditionally at `now_nanos` (used for the
+    /// final drain sample at the end of a run, so the series always end
+    /// at the terminal state). Idempotent when it coincides with the last
+    /// periodic tick: an equal-timestamp push replaces the last value.
+    /// Returns the stamp, or `None` when sampling is disabled.
+    pub fn sample_now(&self, now_nanos: u64) -> Option<u64> {
+        let mut g = self.lock();
+        g.sampler.as_ref()?;
+        sample_registry(&mut g, now_nanos);
+        Some(now_nanos)
+    }
+
+    /// Record one layer-specific sample at `stamp` (no-op when sampling
+    /// is disabled). `stamp` should come from [`Telemetry::sample_tick`]
+    /// / [`Telemetry::sample_now`] so all series share timestamps.
+    pub fn ts_record(&self, stamp: u64, key: &str, value: f64) {
+        if let Some(s) = self.lock().sampler.as_mut() {
+            s.store_mut().record(key, stamp, value);
+        }
+    }
+
+    /// Record a batch of layer-specific samples at `stamp` (no-op when
+    /// sampling is disabled).
+    pub fn ts_record_all(&self, stamp: u64, entries: impl IntoIterator<Item = (String, f64)>) {
+        let mut g = self.lock();
+        if let Some(s) = g.sampler.as_mut() {
+            let store = s.store_mut();
+            for (key, value) in entries {
+                store.record(&key, stamp, value);
+            }
+        }
+    }
+
+    /// A copy of every recorded series as `(key, points)`, sorted by key.
+    pub fn timeseries(&self) -> Vec<(String, Vec<(u64, f64)>)> {
+        match self.lock().sampler.as_ref() {
+            Some(s) => s
+                .store()
+                .iter()
+                .map(|(k, series)| (k.to_string(), series.points().to_vec()))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The points of the series named `key`, if recorded.
+    pub fn timeseries_get(&self, key: &str) -> Option<Vec<(u64, f64)>> {
+        self.lock()
+            .sampler
+            .as_ref()?
+            .store()
+            .get(key)
+            .map(|s| s.points().to_vec())
+    }
+
+    /// Serialize every series as JSON-lines (see
+    /// [`timeseries::SeriesStore::to_json_lines`]); empty when sampling
+    /// is disabled.
+    pub fn timeseries_json_lines(&self) -> String {
+        match self.lock().sampler.as_ref() {
+            Some(s) => s.store().to_json_lines(),
+            None => String::new(),
+        }
+    }
+
+    /// Serialize every series as CSV (see
+    /// [`timeseries::SeriesStore::to_csv`]); empty when sampling is
+    /// disabled.
+    pub fn timeseries_csv(&self) -> String {
+        match self.lock().sampler.as_ref() {
+            Some(s) => s.store().to_csv(),
+            None => String::new(),
+        }
+    }
+}
+
+/// Copy every registry gauge plus the derived ratio gauges into the
+/// sampler's store at `stamp`. Caller has checked the sampler exists.
+fn sample_registry(g: &mut Inner, stamp: u64) {
+    let gauges: Vec<(String, f64)> = g
+        .gauges
+        .iter()
+        .map(|(&(n, nd), &v)| (render_key(n, nd), v as f64))
+        .collect();
+    let derived = derived_from_counters(&g.counters);
+    let Some(sampler) = g.sampler.as_mut() else {
+        return;
+    };
+    let store = sampler.store_mut();
+    for (key, v) in gauges {
+        store.record(&key, stamp, v);
+    }
+    for (key, v) in derived {
+        store.record(&key, stamp, v);
+    }
 }
 
 fn freeze(g: &Inner, at_nanos: u64) -> Snapshot {
@@ -623,12 +764,45 @@ fn freeze(g: &Inner, at_nanos: u64) -> Snapshot {
             .iter()
             .map(|(&(n, nd), &v)| ((n.to_string(), nd), v))
             .collect(),
+        derived: derived_from_counters(&g.counters),
         hists: g
             .hists
             .iter()
             .map(|(&(n, nd), h)| ((n.to_string(), nd), h.clone()))
             .collect(),
     }
+}
+
+/// Ratio gauges derived from raw hit/miss counter pairs, summed over all
+/// node scopes. A ratio is present only when its denominator is nonzero,
+/// so consumers can distinguish "no index activity" from "0% hits".
+fn derived_from_counters(counters: &BTreeMap<Key, u64>) -> BTreeMap<String, f64> {
+    let total = |name: &str| -> u64 {
+        counters
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    };
+    let mut out = BTreeMap::new();
+    let mut ratio = |key: &str, hits_name: &str, misses_name: &str| {
+        let hits = total(hits_name);
+        let misses = total(misses_name);
+        if hits + misses > 0 {
+            out.insert(key.to_string(), hits as f64 / (hits + misses) as f64);
+        }
+    };
+    ratio(
+        "engine.index_hit_ratio",
+        counters::INDEX_HITS,
+        counters::INDEX_MISSES,
+    );
+    ratio(
+        "recorder.htequi_hit_rate",
+        "recorder.htequi_hits",
+        "recorder.htequi_misses",
+    );
+    out
 }
 
 #[cfg(test)]
@@ -712,8 +886,80 @@ mod tests {
             "{\"type\":\"snapshot\",\"t_ns\":42,\
              \"counters\":{\"a#10\":3,\"b\":1,\"b#2\":5},\
              \"gauges\":{\"g\":-4},\
+             \"derived\":{},\
              \"hists\":{\"h#0\":{\"count\":1,\"sum\":8,\"min\":8,\"max\":8,\"mean\":8}}}"
         );
+    }
+
+    #[test]
+    fn derived_index_hit_ratio_in_snapshot() {
+        let t = Telemetry::new();
+        // No index activity: ratio absent, not 0/0.
+        assert!(t.snapshot(1).derived.is_empty());
+        t.count(counters::INDEX_HITS, Some(0), 3);
+        t.count(counters::INDEX_HITS, Some(1), 3);
+        t.count(counters::INDEX_MISSES, Some(0), 2);
+        let snap = t.snapshot(2);
+        let ratio = snap.derived["engine.index_hit_ratio"];
+        assert!((ratio - 0.75).abs() < 1e-12, "got {ratio}");
+        let line = snap.to_json().to_string();
+        assert!(
+            line.contains("\"derived\":{\"engine.index_hit_ratio\":0.75}"),
+            "derived gauge rendered: {line}"
+        );
+    }
+
+    #[test]
+    fn sampler_copies_gauges_and_derived_on_tick() {
+        let t = Telemetry::new();
+        t.set_timeseries(1000, 64);
+        t.gauge("engine.db_rows", Some(3), 7);
+        t.count(counters::INDEX_HITS, None, 1);
+        t.count(counters::INDEX_MISSES, None, 1);
+        assert_eq!(t.sample_tick(999), None, "not due yet");
+        assert_eq!(t.sample_tick(1234), Some(1000), "aligned stamp");
+        t.ts_record(1000, "net.heap_depth", 5.0);
+        t.gauge("engine.db_rows", Some(3), 9);
+        assert_eq!(t.sample_tick(2000), Some(2000));
+        assert_eq!(
+            t.timeseries_get("engine.db_rows#3").unwrap(),
+            vec![(1000, 7.0), (2000, 9.0)]
+        );
+        assert_eq!(
+            t.timeseries_get("engine.index_hit_ratio").unwrap(),
+            vec![(1000, 0.5), (2000, 0.5)]
+        );
+        assert_eq!(
+            t.timeseries_get("net.heap_depth").unwrap(),
+            vec![(1000, 5.0)]
+        );
+    }
+
+    #[test]
+    fn sample_now_is_idempotent_on_tick_boundary() {
+        let t = Telemetry::new();
+        t.set_timeseries(1000, 64);
+        t.gauge("g", None, 1);
+        assert_eq!(t.sample_tick(1000), Some(1000));
+        t.gauge("g", None, 2);
+        // A forced final sample at the same virtual instant replaces the
+        // tick's value rather than duplicating the timestamp.
+        assert_eq!(t.sample_now(1000), Some(1000));
+        assert_eq!(t.timeseries_get("g").unwrap(), vec![(1000, 2.0)]);
+    }
+
+    #[test]
+    fn timeseries_disabled_is_inert() {
+        let t = Telemetry::new();
+        assert!(!t.timeseries_enabled());
+        t.gauge("g", None, 1);
+        assert_eq!(t.sample_tick(5000), None);
+        assert_eq!(t.sample_now(5000), None);
+        t.ts_record(5000, "k", 1.0);
+        t.ts_record_all(5000, [("k2".to_string(), 2.0)]);
+        assert!(t.timeseries().is_empty());
+        assert_eq!(t.timeseries_json_lines(), "");
+        assert_eq!(t.timeseries_csv(), "");
     }
 
     #[test]
